@@ -1,0 +1,24 @@
+"""Benchmark-suite configuration.
+
+Every paper table/figure has one benchmark that (a) regenerates the artifact
+via its experiment harness, (b) prints the same rows/series the paper
+reports, and (c) asserts the paper's qualitative shape. Heavy experiment
+runs use ``benchmark.pedantic`` with one round so the suite stays minutes-
+scale; micro-benchmarks (mapper scaling) use normal rounds.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Benchmark a heavy callable exactly once and return its result."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,59 @@
+"""Ablation: full remap vs incremental refine in the dynamic LB loop.
+
+The production question the Charm++ framework answers every LB step: pay
+migration (PUP + transfer of object state) for a fresh TopoLB placement, or
+perturb the current placement minimally? This bench measures the three-way
+trade (imbalance, hop-bytes, migration volume) over a drifting workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import DriftingWorkload, run_dynamic_lb
+from repro.taskgraph import leanmd_taskgraph
+from repro.topology import Torus
+
+BALANCERS = ("incremental", "full:TopoLB", "full:GreedyLB")
+
+
+@pytest.mark.parametrize("balancer", BALANCERS)
+def test_dynamic_balancer(benchmark, balancer):
+    base = leanmd_taskgraph(16, cells_shape=(4, 4, 4))
+    topo = Torus((4, 4))
+
+    def run():
+        wl = DriftingWorkload(base, drift_sigma=0.15, seed=0)
+        return run_dynamic_lb(wl, topo, balancer, steps=12, lb_period=4,
+                              state_bytes_per_task=4096.0)
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    imb = np.mean([r.imbalance for r in reports])
+    hb = np.mean([r.hop_bytes for r in reports])
+    mig = sum(r.migration_bytes for r in reports)
+    print(f"\n{balancer}: avg imbalance={imb:.3f}, avg hop-bytes={hb:.3g}, "
+          f"migration={mig / 1e6:.2f}MB")
+
+
+def test_tradeoff_holds(run_once):
+    def measure():
+        base = leanmd_taskgraph(16, cells_shape=(4, 4, 4))
+        topo = Torus((4, 4))
+        out = {}
+        for balancer in ("incremental", "full:TopoLB"):
+            wl = DriftingWorkload(base, drift_sigma=0.15, seed=0)
+            reports = run_dynamic_lb(wl, topo, balancer, steps=12, lb_period=4,
+                                     state_bytes_per_task=4096.0)
+            out[balancer] = (
+                float(np.mean([r.hop_bytes for r in reports])),
+                float(sum(r.migration_bytes for r in reports)),
+            )
+        return out
+
+    out = run_once(measure)
+    (inc_hb, inc_mig), (full_hb, full_mig) = out["incremental"], out["full:TopoLB"]
+    print(f"\nincremental: HB={inc_hb:.3g} mig={inc_mig / 1e6:.2f}MB | "
+          f"full TopoLB: HB={full_hb:.3g} mig={full_mig / 1e6:.2f}MB")
+    assert inc_mig < 0.25 * full_mig    # incremental migrates far less
+    assert full_hb < inc_hb             # full remap communicates far better

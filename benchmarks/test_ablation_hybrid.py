@@ -1,0 +1,54 @@
+"""Ablation: HybridTopoLB (the paper's future-work scheme) vs flat TopoLB.
+
+Trades a little hop-byte quality for much smaller per-instance problem
+sizes: each TopoLB call sees B or p/B nodes instead of p. This bench
+measures both sides of the trade on a machine where the flat mapper's cost
+is already noticeable.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.mapping import HybridTopoLB, RandomMapper, TopoLB
+from repro.taskgraph import mesh2d_pattern
+from repro.topology import Torus
+
+
+@pytest.mark.parametrize("blocks", [4, 16])
+def test_hybrid_block_count(benchmark, blocks):
+    topo = Torus((16, 16))
+    graph = mesh2d_pattern(16, 16)
+    mapping = benchmark.pedantic(
+        HybridTopoLB(num_blocks=blocks, seed=0).map, args=(graph, topo),
+        rounds=1, iterations=1,
+    )
+    print(f"\nblocks={blocks}: hops/byte={mapping.hops_per_byte:.3f}")
+    assert mapping.is_bijection()
+
+
+def test_hybrid_vs_flat_tradeoff(run_once):
+    def measure():
+        topo = Torus((24, 24))
+        graph = mesh2d_pattern(24, 24)
+        out = {}
+        for name, mapper in (
+            ("flat TopoLB", TopoLB()),
+            ("hybrid B=16", HybridTopoLB(num_blocks=16, seed=0)),
+        ):
+            t0 = time.perf_counter()
+            mapping = mapper.map(graph, topo)
+            out[name] = (time.perf_counter() - t0, mapping.hops_per_byte)
+        out["random"] = (0.0, RandomMapper(seed=0).map(graph, topo).hops_per_byte)
+        return out
+
+    out = run_once(measure)
+    for name, (t, hpb) in out.items():
+        print(f"\n{name}: {t:.2f}s, hops/byte={hpb:.3f}")
+    flat_t, flat_q = out["flat TopoLB"]
+    hyb_t, hyb_q = out["hybrid B=16"]
+    _, rand_q = out["random"]
+    # Quality: hybrid sits between flat TopoLB and random, far from random.
+    assert flat_q <= hyb_q < 0.5 * rand_q

@@ -1,0 +1,53 @@
+"""Ablation: RefineTopoLB sweep budget vs marginal hop-byte gain.
+
+Most of the refiner's improvement arrives in the first sweep or two —
+quantifying this justifies the small default sweep budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapping import RandomMapper, RefineTopoLB, TopoLB
+from repro.taskgraph import leanmd_taskgraph
+from repro.taskgraph.coalesce import coalesce
+from repro.partition import MultilevelPartitioner
+from repro.topology import Torus
+
+
+def _quotient(p=64):
+    graph = leanmd_taskgraph(p)
+    groups = MultilevelPartitioner(seed=0).partition(graph, p)
+    return coalesce(graph, groups, p)
+
+
+@pytest.mark.parametrize("sweeps", [1, 2, 5, 10])
+def test_refine_sweep_budget(benchmark, sweeps):
+    topo = Torus((8, 8))
+    quotient = _quotient(64)
+    base = TopoLB().map(quotient, topo)
+
+    refined = benchmark.pedantic(
+        RefineTopoLB(max_sweeps=sweeps, seed=0).refine, args=(base,),
+        rounds=1, iterations=1,
+    )
+    gain = 100.0 * (1 - refined.hop_bytes / base.hop_bytes)
+    print(f"\nsweeps={sweeps}: hop-bytes gain over TopoLB = {gain:.1f}%")
+    assert refined.hop_bytes <= base.hop_bytes + 1e-9
+
+
+def test_diminishing_returns(run_once):
+    def measure():
+        topo = Torus((8, 8))
+        quotient = _quotient(64)
+        start = RandomMapper(seed=0).map(quotient, topo)
+        hb = {0: start.hop_bytes}
+        for sweeps in (1, 10):
+            hb[sweeps] = RefineTopoLB(max_sweeps=sweeps, seed=0).refine(start).hop_bytes
+        return hb
+
+    hb = run_once(measure)
+    first_gain = hb[0] - hb[1]
+    rest_gain = hb[1] - hb[10]
+    print(f"\nsweep 1 gain {first_gain:.3g}, sweeps 2-10 gain {rest_gain:.3g}")
+    assert first_gain >= rest_gain  # most value in the first sweep

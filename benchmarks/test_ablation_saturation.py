@@ -1,0 +1,52 @@
+"""Ablation: open-loop saturation curves per traffic pattern.
+
+The classic interconnect plot — latency vs offered load — for the traffic
+classes that bracket the paper: ``neighbor`` is what an ideal stencil
+mapping injects (1 hop/byte), ``uniform`` is what a random mapping injects
+(E[d] hops/byte). The hop-heavy pattern saturates at a fraction of the
+load, which *is* the paper's argument expressed in network terms.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim import NetworkSimulator, run_open_loop
+from repro.topology import Torus
+
+LOADS = (0.2, 0.5, 0.8)
+
+
+@pytest.mark.parametrize("pattern", ["neighbor", "uniform", "transpose"])
+def test_saturation_curve(benchmark, pattern):
+    def sweep():
+        out = []
+        for load in LOADS:
+            sim = NetworkSimulator(Torus((4, 4, 4)), bandwidth=100.0, alpha=0.1)
+            r = run_open_loop(sim, pattern, load, message_bytes=256.0,
+                              duration=400.0, seed=0)
+            out.append((load, r.mean_latency, r.throughput))
+        return out
+
+    curve = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for load, lat, thr in curve:
+        print(f"{pattern} load={load}: latency={lat:.2f}us throughput={thr:.3f}")
+    lats = [lat for _, lat, _ in curve]
+    assert lats == sorted(lats)  # latency monotone in load
+
+
+def test_uniform_saturates_before_neighbor(run_once):
+    def measure():
+        out = {}
+        for pattern in ("neighbor", "uniform"):
+            sim = NetworkSimulator(Torus((4, 4, 4)), bandwidth=100.0, alpha=0.1)
+            out[pattern] = run_open_loop(sim, pattern, 0.8,
+                                         message_bytes=256.0, duration=400.0,
+                                         seed=0).mean_latency
+        return out
+
+    out = run_once(measure)
+    print(f"\nload 0.8: neighbor {out['neighbor']:.2f}us, "
+          f"uniform {out['uniform']:.2f}us")
+    assert out["uniform"] > 1.5 * out["neighbor"]

@@ -1,0 +1,66 @@
+"""Ablation: TopoLB's task-selection rule (the Section 4.1 intuition).
+
+The paper's distinctive design choice is *criticality-gain* selection: pick
+the task that would lose the most if deferred (``FAvg - FMin``), not the
+cheapest or chattiest one. This bench swaps the rule while holding the rest
+of the algorithm fixed, across structured and irregular instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapping import TopoLB
+from repro.taskgraph import leanmd_taskgraph, mesh2d_pattern, random_taskgraph
+from repro.taskgraph.coalesce import coalesce
+from repro.partition.multilevel import MultilevelPartitioner
+from repro.topology import Torus
+
+RULES = ("gain", "max_cost", "volume")
+
+
+def _instances():
+    out = [
+        ("jacobi16/torus", mesh2d_pattern(16, 16), Torus((16, 16))),
+        ("random64/torus", random_taskgraph(64, edge_prob=0.12, seed=1), Torus((8, 8))),
+    ]
+    graph = leanmd_taskgraph(64)
+    groups = MultilevelPartitioner(seed=0).partition(graph, 64)
+    out.append(("leanmd64/torus", coalesce(graph, groups, 64), Torus((8, 8))))
+    return out
+
+
+@pytest.mark.parametrize("rule", RULES)
+def test_selection_rule(benchmark, rule):
+    def run_all():
+        return {
+            name: TopoLB(selection=rule).map(g, topo).hops_per_byte
+            for name, g, topo in _instances()
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    for name, hpb in results.items():
+        print(f"{rule:>9} {name}: {hpb:.3f}")
+
+
+def test_gain_rule_competitive_everywhere(run_once):
+    def measure():
+        table = {}
+        for name, g, topo in _instances():
+            table[name] = {
+                rule: TopoLB(selection=rule).map(g, topo).hops_per_byte
+                for rule in RULES
+            }
+        return table
+
+    table = run_once(measure)
+    print()
+    for name, row in table.items():
+        print(f"{name}: " + "  ".join(f"{r}={v:.3f}" for r, v in row.items()))
+    # The paper's rule must never be the worst of the three by a wide margin
+    # and must win (or tie) the structured stencil case outright.
+    for name, row in table.items():
+        worst = max(row.values())
+        assert row["gain"] <= worst * 1.001 and row["gain"] < worst * 1.5
+    assert table["jacobi16/torus"]["gain"] == min(table["jacobi16/torus"].values())

@@ -1,0 +1,60 @@
+"""Ablation: how much topology-aware mapping matters per network class.
+
+The paper's introduction: fat-trees and hypercubes (wiring ~ P log P) make
+contention/mapping a minor factor; tori and meshes make it dominant. Measure
+the random/TopoLB hop-byte ratio per topology class at matched sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mapping import RandomMapper, TopoLB
+from repro.taskgraph import mesh2d_pattern
+from repro.topology import FatTree, Hypercube, Mesh, Torus
+
+TOPOLOGIES = {
+    "torus_8x8": lambda: Torus((8, 8)),
+    "mesh_8x8": lambda: Mesh((8, 8)),
+    "hypercube_6": lambda: Hypercube(6),
+    "fattree_4x3": lambda: FatTree(4, 3),
+}
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+def test_mapping_gain_by_topology(benchmark, name):
+    topo = TOPOLOGIES[name]()
+    graph = mesh2d_pattern(8, 8)
+
+    def measure():
+        rand = np.mean([
+            RandomMapper(seed=s).map(graph, topo).hops_per_byte for s in range(3)
+        ])
+        tlb = TopoLB().map(graph, topo).hops_per_byte
+        return rand / tlb
+
+    gain = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\n{name}: random/TopoLB hops-per-byte ratio = {gain:.2f}")
+    assert gain >= 1.0
+
+
+def test_grid_gains_dominate_fattree(run_once):
+    """The quantitative version of the paper's motivation."""
+
+    def measure():
+        graph = mesh2d_pattern(8, 8)
+        out = {}
+        for name, factory in TOPOLOGIES.items():
+            topo = factory()
+            rand = np.mean([
+                RandomMapper(seed=s).map(graph, topo).hops_per_byte
+                for s in range(3)
+            ])
+            out[name] = rand / TopoLB().map(graph, topo).hops_per_byte
+        return out
+
+    gains = run_once(measure)
+    print("\n" + "\n".join(f"{k}: {v:.2f}x" for k, v in sorted(gains.items())))
+    assert gains["torus_8x8"] > 1.5 * gains["fattree_4x3"]
+    assert gains["mesh_8x8"] > 1.5 * gains["fattree_4x3"]

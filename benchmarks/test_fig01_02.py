@@ -1,0 +1,22 @@
+"""Benchmark: Figures 1/2 — 2D-mesh pattern on 2D-torus, hops per byte."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig01_02
+
+
+def test_fig01_02(run_once):
+    result = run_once(fig01_02.run, quick=True)
+    print()
+    print(result.to_text())
+
+    for row in result.rows:
+        # Random placement tracks sqrt(p)/2.
+        assert row["random"] == pytest.approx(row["E_random"], rel=0.15)
+        # TopoLB produces an (almost) optimal mapping.
+        assert row["topolb"] == pytest.approx(1.0, abs=0.05)
+        # TopoLB beats TopoCentLB at every point; both far below random.
+        assert row["topolb"] <= row["topocentlb"]
+        assert row["topocentlb"] < row["random"] / 2

@@ -1,0 +1,21 @@
+"""Benchmark: Figures 3/4 — 2D-mesh pattern on 3D-torus, hops per byte."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig03_04
+
+
+def test_fig03_04(run_once):
+    result = run_once(fig03_04.run, quick=True)
+    print()
+    print(result.to_text())
+
+    rows = {r["processors"]: r for r in result.rows}
+    # The (8,8) mesh embeds into the (4,4,4) torus: optimum found.
+    assert rows[64]["topolb"] == pytest.approx(1.0, abs=0.05)
+    for row in result.rows:
+        assert row["random"] == pytest.approx(row["E_random"], rel=0.15)
+        assert row["topolb"] <= row["topocentlb"]
+        assert row["topolb"] < 2.5  # "small values" regime of the paper

@@ -1,0 +1,32 @@
+"""Benchmark: Figures 5/6 — LeanMD on 2D- and 3D-tori."""
+
+from __future__ import annotations
+
+from repro.experiments import fig05_06
+
+
+def test_fig05_leanmd_2d_tori(run_once):
+    result = run_once(fig05_06.run, quick=True, ndim=2)
+    print()
+    print(result.to_text())
+    _check_shape(result)
+
+
+def test_fig06_leanmd_3d_tori(run_once):
+    result = run_once(fig05_06.run, quick=True, ndim=3)
+    print()
+    print(result.to_text())
+    _check_shape(result)
+
+
+def _check_shape(result):
+    for row in result.rows:
+        # Ordering: topo-aware strategies below random; refine never hurts.
+        assert row["topolb"] < row["random"]
+        assert row["topocentlb"] < row["random"]
+        assert row["refine_topolb"] <= row["topolb"] + 1e-9
+    # The mapper's win grows once the quotient graph turns sparse (paper:
+    # 15% at p=18's ratio-180 regime vs ~34% at large p).
+    gains = result.column("topolb_vs_random_pct")
+    assert gains[-1] > gains[0]
+    assert gains[-1] > 25.0

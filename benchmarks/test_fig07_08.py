@@ -1,0 +1,21 @@
+"""Benchmark: Figures 7/8 — average message latency vs link bandwidth."""
+
+from __future__ import annotations
+
+from repro.experiments import fig07_08
+
+
+def test_fig07_08(run_once):
+    result = run_once(fig07_08.run, quick=True)
+    print()
+    print(result.to_text())
+
+    for row in result.rows:
+        assert row["TopoLB_latency_us"] < row["TopoCentLB_latency_us"]
+        assert row["TopoCentLB_latency_us"] < row["GreedyLB_latency_us"]
+    # Congestion blow-up: random's absolute latency increase as bandwidth
+    # drops dwarfs TopoLB's.
+    low, high = result.rows[0], result.rows[-1]
+    assert low["GreedyLB_latency_us"] - high["GreedyLB_latency_us"] > 2 * (
+        low["TopoLB_latency_us"] - high["TopoLB_latency_us"]
+    )

@@ -1,0 +1,19 @@
+"""Benchmark: Figure 9 — completion time of 2000 iterations vs bandwidth."""
+
+from __future__ import annotations
+
+from repro.experiments import fig09
+
+
+def test_fig09(run_once):
+    result = run_once(fig09.run, quick=True)
+    print()
+    print(result.to_text())
+
+    for row in result.rows:
+        # Paper: random can take more than double TopoLB's time when
+        # congested; TopoLB beats TopoCentLB everywhere.
+        assert row["random_over_topolb"] > 2.0
+        assert row["cent_over_topolb"] > 1.0
+    # The gap widens as bandwidth shrinks.
+    assert result.rows[0]["random_over_topolb"] >= result.rows[-1]["random_over_topolb"] - 0.2

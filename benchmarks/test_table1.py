@@ -1,0 +1,17 @@
+"""Benchmark: Table 1 — Jacobi 200 iterations, optimal vs random mapping."""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+
+
+def test_table1(run_once):
+    result = run_once(table1.run, quick=True)
+    print()
+    print(result.to_text())
+
+    ratios = result.column("ratio")
+    # Paper shape: ratio grows with message size, exceeds ~2x from 100KB.
+    assert all(b >= a - 0.05 for a, b in zip(ratios, ratios[1:]))
+    assert all(r > 2.0 for r in ratios[2:])
+    assert all(row["optimal_ms"] < row["random_ms"] for row in result.rows)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Network contention study: why hop-bytes matter (Figures 7-9 in miniature).
+
+Replays a 2D-Jacobi program on a (4,4,4) torus through the discrete-event
+network simulator under three mappings, sweeping link bandwidth downward
+until congestion bites. Shows the paper's causal chain:
+
+    lower hop-bytes  ->  lower per-link load  ->  contention sets in later
+                      ->  lower message latency  ->  faster completion.
+
+Run:  python examples/network_contention.py
+"""
+
+import numpy as np
+
+from repro import RandomMapper, TopoCentLB, TopoLB, Torus, mesh2d_pattern, per_link_loads
+from repro.netsim import IterativeApplication, NetworkSimulator
+
+
+def main() -> None:
+    topology = Torus((4, 4, 4))
+    tasks = mesh2d_pattern(8, 8, message_bytes=2048)
+    iterations = 40
+
+    mappings = {
+        "random": RandomMapper(seed=0).map(tasks, topology),
+        "TopoCentLB": TopoCentLB().map(tasks, topology),
+        "TopoLB": TopoLB().map(tasks, topology),
+    }
+
+    print("static mapping quality and the contention mechanism:")
+    print(f"{'mapping':<12} {'hops/byte':>10} {'max link load/step':>20}")
+    print("-" * 44)
+    for name, mapping in mappings.items():
+        loads = per_link_loads(tasks, topology, mapping.assignment)
+        worst = max(loads.values()) if loads else 0.0
+        print(f"{name:<12} {mapping.hops_per_byte:>10.3f} {worst:>17.0f} B")
+
+    print(f"\nreplaying {iterations} Jacobi iterations per point "
+          "(latency in us, total in ms):")
+    header = f"{'bw MB/s':>8}"
+    for name in mappings:
+        header += f" | {name + ' lat':>14} {name + ' tot':>12}"
+    print(header)
+    print("-" * len(header))
+
+    for bw in (1000.0, 500.0, 250.0, 125.0, 60.0):
+        line = f"{bw:>8.0f}"
+        for name, mapping in mappings.items():
+            sim = NetworkSimulator(topology, bandwidth=bw, alpha=0.1)
+            app = IterativeApplication(
+                mapping, sim, iterations=iterations,
+                message_bytes=2048.0, compute_time=2.0,
+            )
+            result = app.run()
+            line += (f" | {result.mean_message_latency:>14.2f}"
+                     f" {result.total_time / 1000.0:>12.2f}")
+        print(line)
+
+    print("\nas bandwidth shrinks, the random mapping congests first and its")
+    print("latency explodes; TopoLB tolerates the lowest bandwidth (Fig 7/9).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""``repro-map`` — command-line mapping of task graphs onto machines.
+
+The tool a downstream user actually wants: feed it a task graph (JSON, as
+written by :func:`repro.taskgraph.save_taskgraph` or an LB dump from
+:class:`repro.runtime.LBDatabase`), a machine spec, and a strategy name;
+get a placement JSON plus a quality report.
+
+Examples::
+
+    repro-map --taskgraph app.json --topology torus:8x8 --strategy TopoLB
+    repro-map --taskgraph dump.json --lb-dump --topology mesh:4x4x4 \
+              --strategy RefineTopoLB --output placement.json
+    repro-map --list-strategies
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.exceptions import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-map",
+        description="Map a task graph onto a machine topology (TopoLB et al.)",
+    )
+    parser.add_argument("--taskgraph", type=Path,
+                        help="task-graph JSON (repro-taskgraph-v1)")
+    parser.add_argument("--lb-dump", action="store_true",
+                        help="input is an LB dump (repro-lbdump-v1) instead")
+    parser.add_argument("--topology", help="machine spec, e.g. torus:8x8x8")
+    parser.add_argument("--strategy", default="TopoLB",
+                        help="strategy name (see --list-strategies)")
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument("--output", type=Path,
+                        help="write placement JSON here (default: stdout report only)")
+    parser.add_argument("--list-strategies", action="store_true",
+                        help="print registered strategy names and exit")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    from repro.runtime.strategies import STRATEGIES
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_strategies:
+        for name in sorted(STRATEGIES):
+            print(name)
+        return 0
+
+    if not args.taskgraph or not args.topology:
+        parser.error("--taskgraph and --topology are required (or --list-strategies)")
+
+    try:
+        report = run_mapping(
+            args.taskgraph, args.lb_dump, args.topology, args.strategy,
+            args.seed, args.output,
+        )
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    width = max(len(k) for k in report)
+    for key, value in report.items():
+        shown = f"{value:.6g}" if isinstance(value, float) else value
+        print(f"{key.ljust(width)}  {shown}")
+    return 0
+
+
+def run_mapping(graph_path: Path, is_lb_dump: bool, topology_spec: str,
+                strategy: str, seed: int, output: Path | None) -> dict:
+    """Load inputs, run the strategy, optionally write the placement."""
+    from repro.runtime.lbdb import LBDatabase
+    from repro.runtime.simulation import simulate_strategy
+    from repro.runtime.strategies import run_strategy
+    from repro.taskgraph.io import load_taskgraph
+    from repro.topology.factory import topology_from_spec
+
+    if is_lb_dump:
+        database = LBDatabase.load(graph_path)
+    else:
+        database = LBDatabase.from_taskgraph(load_taskgraph(graph_path))
+    topology = topology_from_spec(topology_spec)
+
+    report = simulate_strategy(database, topology, strategy, seed=seed)
+    if output is not None:
+        placement = run_strategy(strategy, database, topology, seed=seed)
+        output.write_text(json.dumps({
+            "format": "repro-placement-v1",
+            "strategy": strategy,
+            "topology": topology_spec,
+            "placement": placement.tolist(),
+        }))
+        report["placement_written"] = str(output)
+    return report

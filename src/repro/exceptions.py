@@ -1,0 +1,45 @@
+"""Typed exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TopologyError",
+    "TaskGraphError",
+    "PartitionError",
+    "MappingError",
+    "SimulationError",
+    "SpecError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """Invalid topology construction or query (bad shape, unknown node...)."""
+
+
+class TaskGraphError(ReproError):
+    """Invalid task graph construction or query."""
+
+
+class PartitionError(ReproError):
+    """Partitioning failed or was given inconsistent inputs."""
+
+
+class MappingError(ReproError):
+    """Mapping failed or was given inconsistent inputs."""
+
+
+class SimulationError(ReproError):
+    """Network/application simulation error (causality violation, bad trace)."""
+
+
+class SpecError(ReproError):
+    """A textual spec string (e.g. ``"torus:8x8"``) could not be parsed."""

@@ -1,0 +1,26 @@
+"""Per-table / per-figure reproduction harnesses.
+
+Each module exposes ``run(quick=True, seed=0) -> ExperimentResult`` printing
+the same rows/series the paper reports:
+
+========  ===========================================================
+id        paper artifact
+========  ===========================================================
+table1    Table 1 — Jacobi 200 iterations, optimal vs random mapping
+fig1_2    Figures 1/2 — 2D-mesh pattern on 2D-torus, hops-per-byte
+fig3_4    Figures 3/4 — 2D-mesh pattern on 3D-torus, hops-per-byte
+fig5      Figure 5 — LeanMD on 2D-tori
+fig6      Figure 6 — LeanMD on 3D-tori
+fig7_8    Figures 7/8 — message latency vs link bandwidth (64-node torus)
+fig9      Figure 9 — completion time vs link bandwidth
+fig10_11  Figures 10/11 — iteration time on BlueGene 3D-torus/3D-mesh
+========  ===========================================================
+
+``quick=True`` shrinks sweeps/iterations to seconds-scale runs (used by the
+benchmark suite); ``quick=False`` runs paper-scale configurations. Run from
+the command line via ``python -m repro.experiments <id> [--full]``.
+"""
+
+from repro.experiments.common import ExperimentResult, format_table
+
+__all__ = ["ExperimentResult", "format_table"]

@@ -1,0 +1,7 @@
+"""Allow ``python -m repro.experiments <id>``."""
+
+import sys
+
+from repro.experiments.runner import main
+
+sys.exit(main())

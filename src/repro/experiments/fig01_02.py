@@ -1,0 +1,52 @@
+"""Figures 1 & 2 — 2D-mesh communication pattern mapped onto a 2D-torus.
+
+The paper sweeps square 2D-tori up to ~6000 processors with |tasks| = p and
+plots average hops-per-byte for Random placement, TopoLB and TopoCentLB,
+overlaying the analytic expectation ``sqrt(p)/2`` for random placement and
+the ideal value 1.0 (a 2D-torus contains the 2D-mesh, so a neighborhood-
+preserving mapping exists).
+
+Shape criteria: random tracks ``sqrt(p)/2`` closely; TopoLB sits at (or very
+near) the optimal 1.0; TopoCentLB is low but above TopoLB at every point.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.mapping.analysis import expected_random_hops_per_byte
+from repro.mapping.random_map import RandomMapper
+from repro.mapping.topocentlb import TopoCentLB
+from repro.mapping.topolb import TopoLB
+from repro.taskgraph.patterns import mesh2d_pattern
+from repro.topology.torus import Torus
+
+__all__ = ["run"]
+
+QUICK_SIDES = (8, 16, 24, 32)
+FULL_SIDES = (8, 16, 24, 32, 48, 64)
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    """Reproduce Figures 1/2 (one row per processor count)."""
+    rows = []
+    for side in QUICK_SIDES if quick else FULL_SIDES:
+        p = side * side
+        topo = Torus((side, side))
+        graph = mesh2d_pattern(side, side, message_bytes=1024)
+        rows.append(
+            {
+                "processors": p,
+                "random": RandomMapper(seed=seed).map(graph, topo).hops_per_byte,
+                "E_random": expected_random_hops_per_byte(topo),
+                "topocentlb": TopoCentLB().map(graph, topo).hops_per_byte,
+                "topolb": TopoLB().map(graph, topo).hops_per_byte,
+                "ideal": 1.0,
+            }
+        )
+    return ExperimentResult(
+        "fig1_2",
+        "2D-mesh pattern on 2D-torus: average hops per byte",
+        rows,
+        notes="paper: random ~ sqrt(p)/2; TopoLB optimal (1.0) in most cases; "
+        "TopoCentLB small but above TopoLB everywhere",
+    )

@@ -1,0 +1,79 @@
+"""Command-line entry point: ``python -m repro.experiments <id> [--full]``.
+
+Runs one (or all) of the paper-reproduction experiments and prints the
+table/series the paper reports. ``--full`` switches from the seconds-scale
+quick configurations to paper-scale sweeps; ``--json`` emits machine-
+readable output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable
+
+from repro.experiments import (
+    fig01_02,
+    fig03_04,
+    fig05_06,
+    fig07_08,
+    fig09,
+    fig10_11,
+    supplementary,
+    table1,
+)
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["main", "EXPERIMENTS", "PAPER_EXPERIMENTS"]
+
+#: the paper's artifacts: experiment id -> run(quick, seed) callable
+PAPER_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1.run,
+    "fig1_2": fig01_02.run,
+    "fig3_4": fig03_04.run,
+    "fig5": lambda quick=True, seed=0: fig05_06.run(quick=quick, seed=seed, ndim=2),
+    "fig6": lambda quick=True, seed=0: fig05_06.run(quick=quick, seed=seed, ndim=3),
+    "fig7_8": fig07_08.run,
+    "fig9": fig09.run,
+    "fig10_11": fig10_11.run,
+}
+
+#: everything runnable, including supplementary studies ("all" = paper only)
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    **PAPER_EXPERIMENTS,
+    "zoo": supplementary.run_zoo,
+    "bounds": supplementary.run_bounds,
+    "objectives": supplementary.run_objectives,
+    "scaling": supplementary.run_scaling,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the tables and figures of the TopoLB paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="paper-scale sweeps instead of quick configurations",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument("--json", action="store_true", help="JSON output")
+    args = parser.parse_args(argv)
+
+    ids = list(PAPER_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for exp_id in ids:
+        result = EXPERIMENTS[exp_id](quick=not args.full, seed=args.seed)
+        print(result.to_json() if args.json else result.to_text())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""Table 1 — Jacobi-like program: optimal vs random mapping.
+
+The paper runs a 3D Jacobi-like program (512 elements in an (8,8,8) logical
+mesh, one message per neighbor per iteration) on 512 BlueGene processors in
+an (8,8,8) 3D-mesh, for 200 iterations, and compares total completion time
+under the optimal (isomorphism) mapping against a random mapping for message
+sizes 1KB..1MB:
+
+=========  ========  ========  =====
+msg size   random    optimal   ratio
+=========  ========  ========  =====
+1KB        56.93ms   46.91ms   1.21
+10KB       243.64ms  124.56ms  1.96
+100KB      2247.75ms 914.72ms  2.46
+500KB      11.62s    4.44s     2.62
+1MB        23.50s    8.80s     2.67
+=========  ========  ========  =====
+
+Shape criterion: the random/optimal ratio grows with message size (alpha
+costs wash out, contention compounds) and exceeds ~2x from 100KB up.
+Hardware is replaced by the network simulator (see DESIGN.md substitutions).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.mapping.random_map import IdentityMapper, RandomMapper
+from repro.netsim.appsim import IterativeApplication
+from repro.netsim.simulator import NetworkSimulator
+from repro.taskgraph.patterns import mesh3d_pattern
+from repro.topology.mesh import Mesh
+
+__all__ = ["run"]
+
+#: Message sizes of the paper's Table 1, in bytes.
+MESSAGE_SIZES = (1_024, 10_240, 102_400, 512_000, 1_048_576)
+
+#: Simulator constants (microseconds / bytes-per-microsecond). Link bandwidth
+#: is BlueGene/L-like (175MB/s per link); the node injection/ejection channel
+#: (NIC) is the per-node bottleneck that caps the optimal mapping's advantage
+#: — without it the random/optimal ratio overshoots the paper's ~2.7x
+#: plateau because our single-path deterministic routing overstates random-
+#: mapping congestion relative to the real machine.
+BANDWIDTH = 175.0
+NIC_BANDWIDTH = 350.0
+ALPHA = 0.5
+COMPUTE_US = 50.0
+
+
+def run(quick: bool = True, seed: int = 0, side: int | None = None,
+        iterations: int | None = None) -> ExperimentResult:
+    """Reproduce Table 1. ``quick`` shrinks the machine and iteration count.
+
+    Simulated times are scaled to the paper's 200 iterations from the
+    steady-state per-iteration time, so quick runs report comparable totals.
+    """
+    if side is None:
+        side = 4 if quick else 8
+    if iterations is None:
+        iterations = 20 if quick else 60
+    paper_iters = 200
+
+    topo = Mesh((side, side, side))
+    rows = []
+    for size in MESSAGE_SIZES:
+        graph = mesh3d_pattern(side, side, side, message_bytes=size)
+        times = {}
+        for label, mapper in (
+            ("random", RandomMapper(seed=seed)),
+            ("optimal", IdentityMapper()),
+        ):
+            mapping = mapper.map(graph, topo)
+            sim = NetworkSimulator(
+                topo, bandwidth=BANDWIDTH, alpha=ALPHA, nic_bandwidth=NIC_BANDWIDTH
+            )
+            app = IterativeApplication(
+                mapping, sim, iterations=iterations,
+                message_bytes=size, compute_time=COMPUTE_US,
+            )
+            result = app.run()
+            # Steady-state per-iteration time (skip the warm-up iteration),
+            # extrapolated to the paper's 200 iterations, reported in ms.
+            finish = result.iteration_finish_times
+            steady = (finish[-1] - finish[0]) / max(len(finish) - 1, 1)
+            times[label] = (finish[0] + steady * (paper_iters - 1)) / 1000.0
+        rows.append(
+            {
+                "message_size": _size_label(size),
+                "random_ms": times["random"],
+                "optimal_ms": times["optimal"],
+                "ratio": times["random"] / times["optimal"],
+            }
+        )
+    return ExperimentResult(
+        "table1",
+        f"Jacobi {side}^3 on {topo.name}, {paper_iters} iterations "
+        f"(simulated, extrapolated from {iterations})",
+        rows,
+        notes="paper ratios: 1.21 / 1.96 / 2.46 / 2.62 / 2.67 — "
+        "ratio must grow with message size and exceed ~2x from 100KB up",
+    )
+
+
+def _size_label(size: int) -> str:
+    if size >= 1_048_576:
+        return f"{size // 1_048_576}MB"
+    return f"{size // 1024}KB"

@@ -1,0 +1,51 @@
+"""Closed-form expectations for random placement (Section 5.2 analytics).
+
+The paper overlays its random-placement measurements with the expected
+distance between two uniformly random processors: ``sqrt(p)/2`` on a square
+2D torus and ``3 * cbrt(p) / 4`` on a cubic 3D torus. Any topology exposing
+``expected_random_distance`` is supported; arbitrary graphs fall back to the
+exact mean over the distance matrix.
+
+A subtlety the paper elides: sampling two *distinct* processors (a random
+bijection never maps two communicating tasks to the same processor) has a
+slightly larger mean than sampling with replacement — the factor is
+``p / (p - 1)`` because the distance-0 diagonal is excluded. Both variants
+are available; the difference vanishes at the paper's scales.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.base import Topology
+
+__all__ = [
+    "expected_random_pair_distance",
+    "expected_random_hops_per_byte",
+]
+
+
+def expected_random_pair_distance(topology: Topology, distinct: bool = False) -> float:
+    """E[d(a, b)] for uniformly random processors ``a``, ``b``.
+
+    With ``distinct=True`` the pair is sampled without replacement, matching
+    what a random bijective mapping does to a communicating task pair.
+    """
+    fn = getattr(topology, "expected_random_distance", None)
+    mean = float(fn()) if fn is not None else float(topology.average_distance())
+    if distinct:
+        p = topology.num_nodes
+        if p > 1:
+            mean *= p / (p - 1)
+    return mean
+
+
+def expected_random_hops_per_byte(topology: Topology, distinct: bool = False) -> float:
+    """Expected hops-per-byte of a random mapping of *any* task graph.
+
+    By linearity of expectation every edge's endpoints land on a uniformly
+    random (distinct) processor pair, so the byte-weighted mean distance is
+    independent of the communication pattern — the reason Figures 1 and 3
+    can draw a single analytic curve.
+    """
+    return expected_random_pair_distance(topology, distinct=distinct)

@@ -1,0 +1,121 @@
+"""Simulated-annealing mapper — the physical-optimization comparison class.
+
+The paper's related-work section (Bollinger & Midkiff; Arunkumar &
+Chockalingam) notes that physical optimization "produce[s] high-quality
+solutions (better than heuristic algorithms)" but is "very slow ...
+unacceptable in a practical scenario". This mapper exists to reproduce that
+trade-off as an ablation: given enough steps it edges out TopoLB on
+hop-bytes, at orders of magnitude more wall-clock.
+
+Standard Metropolis annealing over pairwise swaps, with the same maintained
+first-order cost table the swap refiner uses, so each proposal is O(1)-ish
+to evaluate and O(p * deg) to commit.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import MappingError
+from repro.mapping.base import Mapper, Mapping
+from repro.mapping.random_map import RandomMapper
+from repro.taskgraph.graph import TaskGraph
+from repro.topology.base import Topology
+from repro.utils.rng import as_rng
+
+__all__ = ["SimulatedAnnealingMapper"]
+
+
+class SimulatedAnnealingMapper(Mapper):
+    """Metropolis pairwise-swap annealing on hop-bytes.
+
+    Parameters
+    ----------
+    base:
+        Mapper producing the starting mapping (default: seeded random).
+    steps:
+        Total proposed swaps. The classic quality/time dial: ~100 p steps
+        already beats greedy heuristics on small machines; the paper's point
+        is how expensive that is.
+    t0_factor:
+        Initial temperature as a fraction of the starting hop-bytes (so the
+        schedule is scale-free in the edge weights).
+    cooling:
+        Geometric cooling factor applied every ``p`` proposals.
+    seed:
+        RNG seed for proposals and acceptance.
+    """
+
+    strategy_name = "AnnealLB"
+
+    def __init__(
+        self,
+        base: Mapper | None = None,
+        steps: int = 20_000,
+        t0_factor: float = 0.05,
+        cooling: float = 0.95,
+        seed: int | np.random.Generator | None = 0,
+    ):
+        if steps < 1:
+            raise MappingError(f"steps must be >= 1, got {steps}")
+        if not 0 < cooling < 1:
+            raise MappingError(f"cooling must be in (0, 1), got {cooling}")
+        if t0_factor <= 0:
+            raise MappingError(f"t0_factor must be positive, got {t0_factor}")
+        self._base = base
+        self._steps = int(steps)
+        self._t0_factor = float(t0_factor)
+        self._cooling = float(cooling)
+        self._seed = seed
+
+    def map(self, graph: TaskGraph, topology: Topology) -> Mapping:
+        n = self._check_sizes(graph, topology)
+        rng = as_rng(self._seed)
+        base = self._base if self._base is not None else RandomMapper(seed=rng)
+        start = base.map(graph, topology)
+        if n < 2:
+            return start
+
+        dist = topology.distance_matrix().astype(np.float64, copy=False)
+        indptr, indices, weights = graph.csr_arrays()
+        assign = start.assignment.copy()
+
+        # Maintained first-order cost table (see refine.py for the algebra).
+        cost = np.asarray(graph.adjacency_csr() @ dist[assign])
+        edge_w = {}
+        for a, b, w in graph.edges():
+            edge_w[(a, b)] = w
+            edge_w[(b, a)] = w
+
+        current_hb = start.hop_bytes
+        best_hb = current_hb
+        best_assign = assign.copy()
+        temperature = max(self._t0_factor * max(current_hb, 1.0), 1e-12)
+
+        pairs = rng.integers(0, n, size=(self._steps, 2))
+        accepts = rng.random(self._steps)
+        for step in range(self._steps):
+            a, b = int(pairs[step, 0]), int(pairs[step, 1])
+            if a == b:
+                continue
+            pa, pb = int(assign[a]), int(assign[b])
+            delta = (
+                cost[a, pb] + cost[b, pa] - cost[a, pa] - cost[b, pb]
+                + 2.0 * edge_w.get((a, b), 0.0) * dist[pa, pb]
+            )
+            if delta <= 0 or accepts[step] < math.exp(-delta / temperature):
+                assign[a], assign[b] = pb, pa
+                move = dist[pb] - dist[pa]
+                for t, sign in ((a, 1.0), (b, -1.0)):
+                    lo, hi = indptr[t], indptr[t + 1]
+                    for j, c in zip(indices[lo:hi], weights[lo:hi]):
+                        cost[int(j)] += sign * c * move
+                current_hb += delta
+                if current_hb < best_hb:
+                    best_hb = current_hb
+                    best_assign = assign.copy()
+            if step % n == n - 1:
+                temperature *= self._cooling
+        return Mapping(graph, topology, best_assign)

@@ -1,0 +1,56 @@
+"""Estimation-function machinery for TopoLB (Section 4.3 of the paper).
+
+TopoLB scores every (unplaced task ``t``, free processor ``q``) pair with an
+estimation function ``fest(t, q, P)`` approximating the contribution of ``t``
+to total hop-bytes if placed on ``q``:
+
+* **first order** — count only edges to already-placed neighbors ``j``:
+  ``sum c_tj * d(q, P(j))``  (this is what TopoCentLB uses);
+* **second order** — additionally charge edges to *unplaced* neighbors at the
+  expected distance from ``q`` to a uniformly random processor in ``Vp``:
+  ``... + (unplaced bytes of t) * mean_over_all_procs d(q, .)``;
+* **third order** — same, but the expectation runs over the *still free*
+  processors ``Pk`` only, so it must be refreshed every cycle (the paper's
+  ``O(p^3)`` variant).
+
+The module provides the shared vector helpers; the update loop itself lives
+in :mod:`repro.mapping.topolb`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.topology.base import Topology
+
+__all__ = ["EstimatorOrder", "average_distance_vector"]
+
+
+class EstimatorOrder(enum.IntEnum):
+    """Which approximation of Section 4.3 the estimation function uses."""
+
+    FIRST = 1
+    SECOND = 2
+    THIRD = 3
+
+
+def average_distance_vector(
+    topology: Topology, subset: np.ndarray | None = None
+) -> np.ndarray:
+    """``avg[q] = mean over processors j (in subset) of d(q, j)``.
+
+    With ``subset=None`` the mean runs over all processors — the second-order
+    expectation ``E_{j ~ U[Vp]} d(q, j)``. Passing a boolean mask restricts
+    the mean to free processors — the third-order ``E_{j ~ U[Pk]} d(q, j)``.
+    """
+    p = topology.num_nodes
+    mat = topology.distance_matrix().astype(np.float64, copy=False)
+    if subset is None:
+        return mat.mean(axis=1)
+    mask = np.asarray(subset, dtype=bool)
+    count = int(mask.sum())
+    if count == 0:
+        return np.zeros(p, dtype=np.float64)
+    return mat[:, mask].sum(axis=1) / count

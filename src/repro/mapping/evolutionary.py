@@ -1,0 +1,149 @@
+"""Genetic-algorithm mapper — the second physical-optimization class.
+
+Two of the paper's cited related works are evolutionary: Arunkumar &
+Chockalingam's randomized GA and Orduña/Silla/Duato's seeded exchange
+search. This mapper implements the standard permutation GA for the mapping
+problem:
+
+* individuals are task→processor permutations,
+* fitness is (negative) hop-bytes, evaluated vectorized,
+* PMX (partially-mapped) crossover preserves permutation validity,
+* mutation swaps a few positions,
+* tournament selection plus elitism,
+* optionally a *seeded* population (Orduña-style): start from a heuristic's
+  output plus mutations of it, which converges far faster than random
+  initialization — quantified in ``benchmarks/test_ablation_annealing.py``'s
+  sibling, ``test_ablation_evolutionary.py``.
+
+Like annealing, this is the quality/time trade the paper's Section 1
+contrasts with heuristics ("produce high-quality solutions ... tend to be
+very slow").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import MappingError
+from repro.mapping.base import Mapper, Mapping
+from repro.mapping.metrics import hop_bytes
+from repro.taskgraph.graph import TaskGraph
+from repro.topology.base import Topology
+from repro.utils.rng import as_rng
+
+__all__ = ["GeneticMapper"]
+
+
+class GeneticMapper(Mapper):
+    """Permutation GA over mappings.
+
+    Parameters
+    ----------
+    population:
+        Individuals per generation.
+    generations:
+        Evolution budget.
+    elite:
+        Top individuals copied unchanged each generation.
+    tournament:
+        Tournament size for parent selection.
+    mutation_swaps:
+        Swap mutations applied to each offspring.
+    seed_mapper:
+        Optional heuristic whose output seeds the initial population
+        (the Orduña et al. "seed" idea); the rest starts random.
+    seed:
+        RNG seed.
+    """
+
+    strategy_name = "GeneticLB"
+
+    def __init__(
+        self,
+        population: int = 40,
+        generations: int = 60,
+        elite: int = 2,
+        tournament: int = 3,
+        mutation_swaps: int = 2,
+        seed_mapper: Mapper | None = None,
+        seed: int | np.random.Generator | None = 0,
+    ):
+        if population < 4:
+            raise MappingError(f"population must be >= 4, got {population}")
+        if generations < 1:
+            raise MappingError(f"generations must be >= 1, got {generations}")
+        if not 0 <= elite < population:
+            raise MappingError(f"elite must be in [0, population), got {elite}")
+        if tournament < 1:
+            raise MappingError(f"tournament must be >= 1, got {tournament}")
+        self._pop_size = int(population)
+        self._generations = int(generations)
+        self._elite = int(elite)
+        self._tournament = int(tournament)
+        self._mutation_swaps = int(mutation_swaps)
+        self._seed_mapper = seed_mapper
+        self._seed = seed
+
+    # ------------------------------------------------------------------ core
+    def map(self, graph: TaskGraph, topology: Topology) -> Mapping:
+        n = self._check_sizes(graph, topology)
+        rng = as_rng(self._seed)
+        dist = topology.distance_matrix().astype(np.float64, copy=False)
+        u, v, w = graph.edge_arrays()
+
+        def fitness(perm: np.ndarray) -> float:
+            if len(w) == 0:
+                return 0.0
+            return float(np.dot(w, dist[perm[u], perm[v]]))
+
+        # --- initial population -------------------------------------------
+        population = [rng.permutation(n) for _ in range(self._pop_size)]
+        if self._seed_mapper is not None:
+            seeded = self._seed_mapper.map(graph, topology).assignment.copy()
+            population[0] = seeded
+            for i in range(1, min(4, self._pop_size)):
+                population[i] = self._mutate(seeded.copy(), rng)
+        scores = np.array([fitness(p) for p in population])
+
+        for _gen in range(self._generations):
+            order = np.argsort(scores)
+            next_pop = [population[int(i)].copy() for i in order[: self._elite]]
+            while len(next_pop) < self._pop_size:
+                a = self._select(scores, rng)
+                b = self._select(scores, rng)
+                child = self._pmx(population[a], population[b], rng)
+                next_pop.append(self._mutate(child, rng))
+            population = next_pop
+            scores = np.array([fitness(p) for p in population])
+
+        best = population[int(np.argmin(scores))]
+        return Mapping(graph, topology, best)
+
+    # ------------------------------------------------------------- operators
+    def _select(self, scores: np.ndarray, rng: np.random.Generator) -> int:
+        """Tournament selection: best (lowest hop-bytes) of k random picks."""
+        picks = rng.integers(0, len(scores), size=self._tournament)
+        return int(picks[int(np.argmin(scores[picks]))])
+
+    @staticmethod
+    def _pmx(parent_a: np.ndarray, parent_b: np.ndarray,
+             rng: np.random.Generator) -> np.ndarray:
+        """Partially-mapped crossover: copy a slice of A, fill from B."""
+        n = len(parent_a)
+        lo, hi = sorted(int(x) for x in rng.integers(0, n, size=2))
+        hi += 1
+        child = np.full(n, -1, dtype=np.int64)
+        child[lo:hi] = parent_a[lo:hi]
+        used = set(child[lo:hi].tolist())
+        fill = [g for g in parent_b.tolist() if g not in used]
+        idx = 0
+        for i in list(range(0, lo)) + list(range(hi, n)):
+            child[i] = fill[idx]
+            idx += 1
+        return child
+
+    def _mutate(self, perm: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for _ in range(self._mutation_swaps):
+            i, j = rng.integers(0, len(perm), size=2)
+            perm[i], perm[j] = perm[j], perm[i]
+        return perm

@@ -1,0 +1,173 @@
+"""Mapping-quality metrics: hop-bytes, hops-per-byte, link loads, dilation.
+
+Hop-bytes (Section 3 of the paper) is the evaluation function every mapper
+here minimizes::
+
+    HB(Gt, Gp, P) = sum over edges e_ab of c_ab * d_p(P(a), P(b))
+
+Per-link loads additionally resolve each task-graph edge onto the links of
+its deterministic route — the quantity whose maximum drives contention.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import MappingError
+from repro.taskgraph.graph import TaskGraph
+from repro.topology.base import Topology
+
+__all__ = [
+    "hop_bytes",
+    "hops_per_byte",
+    "per_task_hop_bytes",
+    "per_link_loads",
+    "dilation_stats",
+    "dilation_histogram",
+    "processor_loads",
+    "load_imbalance",
+]
+
+#: Above this processor count we avoid materializing the full distance matrix.
+_MATRIX_LIMIT = 8192
+
+
+def _as_assignment(graph: TaskGraph, topology: Topology, assignment: Sequence[int]) -> np.ndarray:
+    arr = np.asarray(assignment, dtype=np.int64)
+    if arr.shape != (graph.num_tasks,):
+        raise MappingError(
+            f"assignment must have shape ({graph.num_tasks},), got {arr.shape}"
+        )
+    if len(arr) and (arr.min() < 0 or arr.max() >= topology.num_nodes):
+        raise MappingError("assignment references processors outside the topology")
+    return arr
+
+
+def _edge_distances(topology: Topology, pu: np.ndarray, pv: np.ndarray) -> np.ndarray:
+    """Hop distances for endpoint-processor arrays ``pu``/``pv`` (vectorized)."""
+    if topology.num_nodes <= _MATRIX_LIMIT:
+        mat = topology.distance_matrix()
+        return mat[pu, pv].astype(np.float64)
+    # Large machine: gather one distance row per distinct source processor.
+    dist = np.empty(len(pu), dtype=np.float64)
+    order = np.argsort(pu, kind="stable")
+    sorted_pu = pu[order]
+    boundaries = np.flatnonzero(np.diff(sorted_pu)) + 1
+    for chunk in np.split(order, boundaries):
+        row = topology.distance_row(int(pu[chunk[0]]))
+        dist[chunk] = row[pv[chunk]]
+    return dist
+
+
+def hop_bytes(graph: TaskGraph, topology: Topology, assignment: Sequence[int]) -> float:
+    """Total hop-bytes of ``assignment`` (Section 3 metric)."""
+    arr = _as_assignment(graph, topology, assignment)
+    u, v, w = graph.edge_arrays()
+    if len(w) == 0:
+        return 0.0
+    return float(np.dot(w, _edge_distances(topology, arr[u], arr[v])))
+
+
+def hops_per_byte(graph: TaskGraph, topology: Topology, assignment: Sequence[int]) -> float:
+    """Average number of links each byte crosses: hop-bytes / total bytes."""
+    total = graph.total_bytes
+    if total == 0:
+        return 0.0
+    return hop_bytes(graph, topology, assignment) / total
+
+
+def per_task_hop_bytes(
+    graph: TaskGraph, topology: Topology, assignment: Sequence[int]
+) -> np.ndarray:
+    """HB(t) per task; ``sum / 2 == hop_bytes`` (the paper's additivity identity)."""
+    arr = _as_assignment(graph, topology, assignment)
+    u, v, w = graph.edge_arrays()
+    out = np.zeros(graph.num_tasks, dtype=np.float64)
+    if len(w):
+        contrib = w * _edge_distances(topology, arr[u], arr[v])
+        np.add.at(out, u, contrib)
+        np.add.at(out, v, contrib)
+    return out
+
+
+def per_link_loads(
+    graph: TaskGraph, topology: Topology, assignment: Sequence[int]
+) -> dict[tuple[int, int], float]:
+    """Bytes crossing each *directed* link under deterministic routing.
+
+    Requires a direct network (route() defined). Intra-processor edges load
+    no links. The max over this dict is the contention bottleneck the paper's
+    mapping strategy relieves.
+    """
+    arr = _as_assignment(graph, topology, assignment)
+    loads: dict[tuple[int, int], float] = {}
+    for a, b, w in graph.edges():
+        pa, pb = int(arr[a]), int(arr[b])
+        if pa == pb:
+            continue
+        # Traffic flows both ways on an undirected task edge; charge half
+        # the volume along each direction's route.
+        for src, dst, vol in ((pa, pb, w / 2.0), (pb, pa, w / 2.0)):
+            for link in topology.route_links(src, dst):
+                loads[link] = loads.get(link, 0.0) + vol
+    return loads
+
+
+def dilation_stats(
+    graph: TaskGraph, topology: Topology, assignment: Sequence[int]
+) -> dict[str, float]:
+    """Edge-dilation summary: max / mean / byte-weighted mean hop distance."""
+    arr = _as_assignment(graph, topology, assignment)
+    u, v, w = graph.edge_arrays()
+    if len(w) == 0:
+        return {"max": 0.0, "mean": 0.0, "weighted_mean": 0.0}
+    dist = _edge_distances(topology, arr[u], arr[v])
+    return {
+        "max": float(dist.max()),
+        "mean": float(dist.mean()),
+        "weighted_mean": float(np.dot(w, dist) / w.sum()) if w.sum() else 0.0,
+    }
+
+
+def dilation_histogram(
+    graph: TaskGraph, topology: Topology, assignment: Sequence[int]
+) -> dict[float, float]:
+    """Bytes communicated at each hop distance: ``{distance: bytes}``.
+
+    The distributional view behind hops-per-byte: an ideal stencil mapping
+    concentrates all bytes at distance 1, a random mapping spreads them to
+    the machine's distance distribution. Distance 0 collects intra-processor
+    bytes (many-to-one mappings). Keys are ints on hop-metric machines and
+    floats on weighted ones.
+    """
+    arr = _as_assignment(graph, topology, assignment)
+    u, v, w = graph.edge_arrays()
+    if len(w) == 0:
+        return {}
+    dist = _edge_distances(topology, arr[u], arr[v])
+    out: dict[float, float] = {}
+    for d in np.unique(dist):
+        key = int(d) if float(d).is_integer() else float(d)
+        out[key] = float(w[dist == d].sum())
+    return out
+
+
+def processor_loads(
+    graph: TaskGraph, topology: Topology, assignment: Sequence[int]
+) -> np.ndarray:
+    """Computation load per processor (sum of hosted task weights)."""
+    arr = _as_assignment(graph, topology, assignment)
+    return np.bincount(arr, weights=graph.vertex_weights, minlength=topology.num_nodes)
+
+
+def load_imbalance(
+    graph: TaskGraph, topology: Topology, assignment: Sequence[int]
+) -> float:
+    """Makespan ratio ``max_load / mean_load`` (1.0 is perfectly balanced)."""
+    loads = processor_loads(graph, topology, assignment)
+    mean = loads.mean()
+    if mean == 0:
+        return 1.0
+    return float(loads.max() / mean)

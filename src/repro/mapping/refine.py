@@ -1,0 +1,126 @@
+"""RefineTopoLB — pairwise-swap hop-bytes refiner (Section 5.2.3).
+
+The paper applies this after an initial mapper: "The refiner swaps tasks
+between processors to see if hop-bytes are reduced or not. It swaps only when
+hop-bytes get reduced." On LeanMD it shaves a further ~12% off TopoLB's
+hop-bytes.
+
+Implementation: maintain the first-order cost table ``C[t, q] = sum over
+neighbors j of c_tj * d(q, P(j))``. For tasks ``a``, ``b`` on processors
+``pa``, ``pb`` the swap delta is::
+
+    delta(a, b) = C[a, pb] + C[b, pa] - C[a, pa] - C[b, pb]
+                  + 2 * c_ab * d(pa, pb)          # a<->b edge is unaffected
+
+(the correction term undoes the double-counted improvement the naive sum
+claims for the a-b edge itself, whose endpoints merely trade places). A
+sweep evaluates, for each task ``a``, the delta against *every* other task
+in one vectorized shot and greedily applies the best strictly-negative swap;
+sweeps repeat until a full pass makes no swap or ``max_sweeps`` is hit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import MappingError
+from repro.mapping.base import Mapper, Mapping
+from repro.taskgraph.graph import TaskGraph
+from repro.topology.base import Topology
+from repro.utils.rng import as_rng
+
+__all__ = ["RefineTopoLB"]
+
+
+class RefineTopoLB(Mapper):
+    """Hop-bytes-decreasing pairwise-swap refiner.
+
+    Parameters
+    ----------
+    base:
+        Optional mapper producing the initial mapping when :meth:`map` is
+        called directly (the paper runs TopoLB first). :meth:`refine` can
+        also polish any existing bijective :class:`Mapping`.
+    max_sweeps:
+        Upper bound on full passes over the tasks.
+    seed:
+        Sweep order is randomized (a fixed order can get stuck in the same
+        local minimum every sweep); the seed makes runs reproducible.
+    """
+
+    strategy_name = "RefineTopoLB"
+
+    def __init__(self, base: Mapper | None = None, max_sweeps: int = 10,
+                 seed: int | np.random.Generator | None = 0):
+        if max_sweeps < 1:
+            raise MappingError(f"max_sweeps must be >= 1, got {max_sweeps}")
+        self._base = base
+        self._max_sweeps = int(max_sweeps)
+        self._seed = seed
+
+    def map(self, graph: TaskGraph, topology: Topology) -> Mapping:
+        if self._base is None:
+            raise MappingError(
+                "RefineTopoLB.map needs a base mapper; either construct with "
+                "base=TopoLB() or call .refine(existing_mapping)"
+            )
+        return self.refine(self._base.map(graph, topology))
+
+    def refine(self, mapping: Mapping) -> Mapping:
+        """Return a refined copy of ``mapping`` (never worse in hop-bytes)."""
+        graph, topology = mapping.graph, mapping.topology
+        n = self._check_sizes(graph, topology)
+        if not mapping.is_bijection():
+            raise MappingError("RefineTopoLB requires a bijective mapping")
+        rng = as_rng(self._seed)
+
+        dist = topology.distance_matrix().astype(np.float64, copy=False)
+        indptr, indices, weights = graph.csr_arrays()
+        assign = mapping.assignment.copy()
+
+        # C[t, q] = first-order cost of task t if it sat on processor q.
+        csr = graph.adjacency_csr()
+        cost = np.asarray(csr @ dist[assign])  # (n, p)
+
+        ids = np.arange(n)
+        for _sweep in range(self._max_sweeps):
+            swapped = False
+            for a in rng.permutation(n):
+                a = int(a)
+                pa = assign[a]
+                # delta against every candidate partner b, vectorized.
+                delta = (
+                    cost[a, assign]            # C[a, pb] for every b
+                    + cost[ids, pa]            # C[b, pa]
+                    - cost[a, pa]
+                    - cost[ids, assign]        # C[b, pb]
+                )
+                lo, hi = indptr[a], indptr[a + 1]
+                nbrs, wts = indices[lo:hi], weights[lo:hi]
+                delta[nbrs] += 2.0 * wts * dist[pa, assign[nbrs]]
+                delta[a] = 0.0
+                b = int(np.argmin(delta))
+                if delta[b] < -1e-9:
+                    self._apply_swap(a, b, assign, cost, dist, indptr, indices, weights)
+                    swapped = True
+            if not swapped:
+                break
+
+        return mapping.with_assignment(assign)
+
+    @staticmethod
+    def _apply_swap(a: int, b: int, assign: np.ndarray, cost: np.ndarray,
+                    dist: np.ndarray, indptr: np.ndarray, indices: np.ndarray,
+                    weights: np.ndarray) -> None:
+        """Swap the processors of ``a`` and ``b`` and patch the cost table.
+
+        Only the rows of the neighbors of ``a`` and ``b`` reference the moved
+        processors, so the patch costs ``O(p * (deg a + deg b))``.
+        """
+        pa, pb = int(assign[a]), int(assign[b])
+        assign[a], assign[b] = pb, pa
+        move = dist[pb] - dist[pa]  # how d(q, P(a)) changed, for every q
+        for t, new_minus_old in ((a, move), (b, -move)):
+            lo, hi = indptr[t], indptr[t + 1]
+            for j, c in zip(indices[lo:hi], weights[lo:hi]):
+                cost[int(j)] += c * new_minus_old

@@ -1,0 +1,94 @@
+"""ASCII visualization of mappings and link loads on 2D grid machines.
+
+Debugging a mapper usually starts with "where did my tasks actually land?";
+these renderers answer that in a terminal. Only 2D meshes/tori are drawable;
+other topologies raise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import MappingError
+from repro.mapping.base import Mapping
+from repro.mapping.metrics import per_link_loads
+from repro.topology.grid import GridTopology
+
+__all__ = ["render_placement", "render_link_heat"]
+
+
+def _check_2d_grid(topology) -> GridTopology:
+    if not isinstance(topology, GridTopology) or topology.ndim != 2:
+        raise MappingError(
+            f"can only draw 2D mesh/torus machines, got {topology.name}"
+        )
+    return topology
+
+
+def render_placement(mapping: Mapping) -> str:
+    """Grid of the machine with the task id hosted by each processor.
+
+    Multi-task processors show ``+n`` for the extra residents. Example::
+
+        >>> print(render_placement(IdentityMapper().map(g, Torus((2, 2)))))
+          0   1
+          2   3
+    """
+    topo = _check_2d_grid(mapping.topology)
+    rows, cols = topo.shape
+    cells = [["." for _ in range(cols)] for _ in range(rows)]
+    residents: dict[int, list[int]] = {}
+    for task, proc in enumerate(mapping.assignment):
+        residents.setdefault(int(proc), []).append(task)
+    for proc, tasks in residents.items():
+        r, c = topo.coords(proc)
+        label = str(tasks[0])
+        if len(tasks) > 1:
+            label += f"+{len(tasks) - 1}"
+        cells[r][c] = label
+    width = max(len(cell) for row in cells for cell in row)
+    return "\n".join(
+        " ".join(cell.rjust(width) for cell in row) for row in cells
+    )
+
+
+def render_link_heat(mapping: Mapping, levels: str = " .:-=+*#%@") -> str:
+    """Heat map of per-link byte loads, interleaving nodes and links.
+
+    Nodes render as ``o``; the character between two nodes scales with the
+    bidirectional traffic on that link (last character of ``levels`` =
+    hottest link). Wrap-around links of tori are not drawn (they fall
+    outside the planar layout) but still carry load in the metrics.
+    """
+    topo = _check_2d_grid(mapping.topology)
+    loads = per_link_loads(mapping.graph, topo, mapping.assignment)
+    both: dict[tuple[int, int], float] = {}
+    for (a, b), vol in loads.items():
+        key = (min(a, b), max(a, b))
+        both[key] = both.get(key, 0.0) + vol
+    peak = max(both.values(), default=0.0)
+
+    def heat(a: int, b: int) -> str:
+        vol = both.get((min(a, b), max(a, b)), 0.0)
+        if peak <= 0:
+            return levels[0]
+        idx = int(round(vol / peak * (len(levels) - 1)))
+        return levels[idx]
+
+    rows, cols = topo.shape
+    lines: list[str] = []
+    for r in range(rows):
+        line = []
+        for c in range(cols):
+            line.append("o")
+            if c + 1 < cols:
+                line.append(heat(topo.index((r, c)), topo.index((r, c + 1))))
+        lines.append("".join(line))
+        if r + 1 < rows:
+            vert = []
+            for c in range(cols):
+                vert.append(heat(topo.index((r, c)), topo.index((r + 1, c))))
+                if c + 1 < cols:
+                    vert.append(" ")
+            lines.append("".join(vert))
+    return "\n".join(lines)

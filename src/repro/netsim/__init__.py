@@ -1,0 +1,55 @@
+"""Discrete-event interconnection-network simulator (BigNetSim substitute).
+
+Section 5.3 of the paper replays application traces through BigNetSim to
+show that hop-byte reductions translate into lower message latencies and
+faster completion, especially as link bandwidth shrinks and contention sets
+in. This package provides the equivalent machinery:
+
+* :class:`EventQueue` — deterministic binary-heap DES core,
+* :class:`NetworkSimulator` — per-link FIFO contention with virtual
+  cut-through (default) or store-and-forward forwarding over the
+  deterministic routes of a direct :class:`~repro.topology.Topology`,
+* :class:`IterativeApplication` — dependency-honouring replay of Jacobi-style
+  compute/communicate iterations under any task mapping,
+* latency / link-utilization statistics.
+"""
+
+from repro.netsim.eventqueue import EventQueue
+from repro.netsim.messages import Message, MessageStats
+from repro.netsim.simulator import NetworkSimulator, LinkModel, RoutingPolicy
+from repro.netsim.appsim import IterativeApplication, AppResult
+from repro.netsim.traffic import make_pattern, run_open_loop, OpenLoopResult
+from repro.netsim.trace import ApplicationTrace, TracePhase, TraceReplayer, jacobi_trace
+from repro.netsim.collectives import (
+    bfs_tree,
+    binomial_tree,
+    simulate_allreduce,
+    simulate_broadcast,
+    simulate_reduce,
+)
+from repro.netsim.stats import summarize_latencies, link_utilization
+
+__all__ = [
+    "EventQueue",
+    "Message",
+    "MessageStats",
+    "NetworkSimulator",
+    "LinkModel",
+    "RoutingPolicy",
+    "IterativeApplication",
+    "AppResult",
+    "make_pattern",
+    "run_open_loop",
+    "OpenLoopResult",
+    "ApplicationTrace",
+    "TracePhase",
+    "TraceReplayer",
+    "jacobi_trace",
+    "bfs_tree",
+    "binomial_tree",
+    "simulate_broadcast",
+    "simulate_reduce",
+    "simulate_allreduce",
+    "summarize_latencies",
+    "link_utilization",
+]

@@ -1,0 +1,202 @@
+"""Trace-driven replay of iterative Jacobi-style applications.
+
+The paper's Sections 5.3/5.4 run a benchmark where every chare computes,
+sends a message to each of its task-graph neighbors, and starts the next
+iteration once its own compute is done *and* all neighbor messages of the
+current iteration have arrived. This module replays exactly that dependency
+structure through a :class:`~repro.netsim.simulator.NetworkSimulator` under
+any task mapping, so the same program can be re-timed under different
+mappings and link bandwidths — the BigNetSim workflow.
+
+Tasks co-located on one processor exchange messages at the local latency and
+compute concurrently (the experiments of interest are bijective mappings
+where each processor hosts exactly one task, so compute serialization across
+co-located tasks is out of scope and documented as such).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.mapping.base import Mapping
+from repro.netsim.simulator import NetworkSimulator
+
+__all__ = ["IterativeApplication", "AppResult"]
+
+
+@dataclasses.dataclass
+class AppResult:
+    """Outcome of one replay."""
+
+    total_time: float                 # time the last task finished, us
+    iterations: int
+    mean_message_latency: float       # us
+    max_message_latency: float        # us
+    messages_delivered: int
+    hops_per_byte: float              # observed on delivered traffic
+    iteration_finish_times: np.ndarray  # time the k-th iteration fully completed
+
+    @property
+    def time_per_iteration(self) -> float:
+        """Average wall-clock (simulated) time per iteration, us."""
+        return self.total_time / self.iterations if self.iterations else 0.0
+
+
+class IterativeApplication:
+    """Jacobi-style compute/communicate loop over a mapped task graph.
+
+    Parameters
+    ----------
+    mapping:
+        Task placement (drives which messages cross which links).
+    simulator:
+        The network to replay through. One application per simulator.
+    iterations:
+        Number of compute/communicate rounds.
+    message_bytes:
+        Per-neighbor per-iteration message size. ``None`` derives it from the
+        task graph: each undirected edge of weight ``w`` carries ``w/2`` per
+        direction per iteration (matching the pattern generators, which store
+        ``2 * message_bytes`` per edge).
+    compute_time:
+        Per-iteration compute cost in microseconds (scalar, or per-task
+        array). The paper keeps this low so communication dominates.
+    """
+
+    def __init__(
+        self,
+        mapping: Mapping,
+        simulator: NetworkSimulator,
+        iterations: int,
+        message_bytes: float | None = None,
+        compute_time: float | np.ndarray = 1.0,
+    ):
+        if iterations < 1:
+            raise SimulationError(f"iterations must be >= 1, got {iterations}")
+        self._mapping = mapping
+        self._sim = simulator
+        self._iterations = int(iterations)
+        graph = mapping.graph
+        n = graph.num_tasks
+
+        self._compute = np.broadcast_to(
+            np.asarray(compute_time, dtype=np.float64), (n,)
+        ).copy()
+        if (self._compute < 0).any():
+            raise SimulationError("compute_time must be non-negative")
+
+        # Per-task outgoing message sizes, aligned with the CSR neighbor lists.
+        indptr, indices, weights = graph.csr_arrays()
+        self._indptr, self._indices = indptr, indices
+        if message_bytes is None:
+            self._msg_sizes = weights / 2.0
+        else:
+            if message_bytes <= 0:
+                raise SimulationError(f"message_bytes must be positive, got {message_bytes}")
+            self._msg_sizes = np.full_like(weights, float(message_bytes))
+
+        # Execution state.
+        self._cur_iter = np.zeros(n, dtype=np.int64)
+        self._compute_done = np.zeros(n, dtype=bool)
+        self._arrived: list[defaultdict[int, int]] = [defaultdict(int) for _ in range(n)]
+        self._expected = graph.degrees()
+        self._finished = 0
+        self._iter_remaining = np.full(self._iterations, n, dtype=np.int64)
+        self._iter_finish = np.zeros(self._iterations, dtype=np.float64)
+        self._ran = False
+
+    # ------------------------------------------------------------------ run
+    def start(self) -> None:
+        """Seed the application's initial events without running the queue.
+
+        For co-scheduling studies several applications may share one
+        simulator: ``start()`` each of them, drive ``simulator.run()`` once,
+        then collect each one's :meth:`result`.
+        """
+        if self._ran:
+            raise SimulationError("IterativeApplication may only be started once")
+        self._ran = True
+        for t in range(self._mapping.graph.num_tasks):
+            self._begin_compute(t)
+
+    def result(self) -> AppResult:
+        """Timing results; valid once the simulator's queue has drained."""
+        n = self._mapping.graph.num_tasks
+        if not self._ran:
+            raise SimulationError("application was never started")
+        if self._finished != n:
+            raise SimulationError(
+                f"deadlock: only {self._finished}/{n} tasks finished "
+                "(dependency graph inconsistent, or the simulator has not run)"
+            )
+        stats = self._sim.stats
+        return AppResult(
+            total_time=float(self._iter_finish[-1]),
+            iterations=self._iterations,
+            mean_message_latency=stats.mean_latency,
+            max_message_latency=stats.max_latency,
+            messages_delivered=stats.count,
+            hops_per_byte=stats.hops_per_byte,
+            iteration_finish_times=self._iter_finish.copy(),
+        )
+
+    def run(self) -> AppResult:
+        """Replay the application to completion and return timing results."""
+        self.start()
+        self._sim.run()
+        return self.result()
+
+    # ------------------------------------------------------------- mechanics
+    def _begin_compute(self, task: int) -> None:
+        self._compute_done[task] = False
+        self._sim.queue.schedule(
+            self._sim.now + float(self._compute[task]),
+            lambda: self._compute_finished(task),
+        )
+
+    def _compute_finished(self, task: int) -> None:
+        """Compute phase over: emit this iteration's messages, maybe advance."""
+        self._compute_done[task] = True
+        k = int(self._cur_iter[task])
+        assign = self._mapping.assignment
+        src_proc = int(assign[task])
+        lo, hi = self._indptr[task], self._indptr[task + 1]
+        for idx in range(lo, hi):
+            nbr = int(self._indices[idx])
+            size = float(self._msg_sizes[idx])
+            self._sim.send(
+                src_proc,
+                int(assign[nbr]),
+                size,
+                on_delivery=self._make_receiver(nbr, k),
+            )
+        self._maybe_advance(task)
+
+    def _make_receiver(self, dst_task: int, iteration: int):
+        def _on_delivery(_msg) -> None:
+            self._arrived[dst_task][iteration] += 1
+            self._maybe_advance(dst_task)
+
+        return _on_delivery
+
+    def _maybe_advance(self, task: int) -> None:
+        """Advance to the next iteration when compute + all receives are in."""
+        k = int(self._cur_iter[task])
+        if not self._compute_done[task]:
+            return
+        if self._arrived[task][k] < self._expected[task]:
+            return
+        # Iteration k complete for this task.
+        del self._arrived[task][k]
+        self._iter_remaining[k] -= 1
+        if self._iter_remaining[k] == 0:
+            self._iter_finish[k] = self._sim.now
+        if k + 1 < self._iterations:
+            self._cur_iter[task] = k + 1
+            self._begin_compute(task)
+        else:
+            self._finished += 1

@@ -1,0 +1,187 @@
+"""Collective operations over the simulated network.
+
+Applications such as LeanMD interleave point-to-point halo traffic with
+reductions and broadcasts (the per-processor manager objects exist for
+exactly that). Collectives stress the network differently — one root, log-
+depth trees, link reuse along the tree — and their cost depends on how well
+the *spanning tree* respects the topology, which is the mapping problem in
+miniature:
+
+* :func:`bfs_tree` — topology-aware tree: children are network neighbors of
+  already-reached processors, so every tree edge is one hop;
+* :func:`binomial_tree` — the classic rank-order binomial tree, oblivious
+  to the machine (rank distance says nothing about hop distance).
+
+:func:`simulate_broadcast` / :func:`simulate_reduce` /
+:func:`simulate_allreduce` run a collective through a
+:class:`~repro.netsim.simulator.NetworkSimulator` and return completion
+time; ``benchmarks/test_ablation_collectives.py`` quantifies the aware-vs-
+oblivious tree gap (the same lesson as task mapping, at the runtime level).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.exceptions import SimulationError
+from repro.netsim.simulator import NetworkSimulator
+from repro.topology.base import Topology
+
+__all__ = [
+    "bfs_tree",
+    "binomial_tree",
+    "simulate_broadcast",
+    "simulate_reduce",
+    "simulate_allreduce",
+]
+
+
+def bfs_tree(topology: Topology, root: int) -> dict[int, list[int]]:
+    """Topology-aware spanning tree: ``children[v]`` lists v's subtrees.
+
+    Breadth-first over machine links, so every tree edge is a single hop;
+    fan-out equals the node degree, depth ~ machine diameter.
+    """
+    root = int(root)
+    children: dict[int, list[int]] = {v: [] for v in range(topology.num_nodes)}
+    seen = {root}
+    queue: deque[int] = deque([root])
+    while queue:
+        v = queue.popleft()
+        for nbr in topology.neighbors(v):
+            if nbr not in seen:
+                seen.add(nbr)
+                children[v].append(nbr)
+                queue.append(nbr)
+    if len(seen) != topology.num_nodes:
+        raise SimulationError("topology must be connected for a spanning tree")
+    return children
+
+
+def binomial_tree(topology: Topology, root: int) -> dict[int, list[int]]:
+    """Rank-order binomial tree (MPI-style), oblivious to the machine.
+
+    Relative rank ``r`` receives from ``r - 2^k`` where ``2^k`` is the
+    highest power of two in ``r``; depth is ``ceil(log2 p)`` but tree edges
+    can span many hops.
+    """
+    p = topology.num_nodes
+    root = int(root)
+    children: dict[int, list[int]] = {v: [] for v in range(p)}
+    for rel in range(1, p):
+        high = 1 << (rel.bit_length() - 1)
+        parent_rel = rel - high
+        children[(parent_rel + root) % p].append((rel + root) % p)
+    return children
+
+
+def _tree_depths(children: dict[int, list[int]], root: int) -> dict[int, int]:
+    depth = {root: 0}
+    queue: deque[int] = deque([root])
+    while queue:
+        v = queue.popleft()
+        for c in children[v]:
+            depth[c] = depth[v] + 1
+            queue.append(c)
+    return depth
+
+
+def simulate_broadcast(
+    sim: NetworkSimulator,
+    root: int,
+    size_bytes: float,
+    tree: dict[int, list[int]] | None = None,
+) -> float:
+    """Broadcast ``size_bytes`` from ``root`` down the tree; return finish time.
+
+    Each node forwards to its children as soon as it holds the data (the
+    root immediately). Returns the time the last processor received the
+    payload, relative to the current simulator clock.
+    """
+    if tree is None:
+        tree = bfs_tree(sim.topology, root)
+    start = sim.now
+    remaining = sim.topology.num_nodes - 1
+    finish = [start]
+
+    def deliver_to_children(v: int) -> None:
+        nonlocal remaining
+        for child in tree[v]:
+            def on_delivery(_msg, child=child) -> None:
+                nonlocal remaining
+                remaining -= 1
+                finish[0] = max(finish[0], sim.now)
+                deliver_to_children(child)
+
+            sim.send(v, child, size_bytes, on_delivery=on_delivery)
+
+    deliver_to_children(int(root))
+    sim.run()
+    if remaining != 0:
+        raise SimulationError("broadcast tree did not cover every processor")
+    return finish[0] - start
+
+
+def simulate_reduce(
+    sim: NetworkSimulator,
+    root: int,
+    size_bytes: float,
+    tree: dict[int, list[int]] | None = None,
+    combine_time: float = 0.0,
+) -> float:
+    """Reduce leaf-to-root along the tree; return completion time.
+
+    A node sends its partial result to its parent once contributions from
+    all of its children arrived (plus ``combine_time`` per combine).
+    """
+    if tree is None:
+        tree = bfs_tree(sim.topology, root)
+    root = int(root)
+    parent: dict[int, int] = {}
+    for v, kids in tree.items():
+        for c in kids:
+            parent[c] = v
+    pending = {v: len(tree[v]) for v in tree}
+    start = sim.now
+    finish = [start]
+    done = [False]
+
+    def maybe_send_up(v: int) -> None:
+        if pending[v] > 0:
+            return
+        if v == root:
+            finish[0] = sim.now
+            done[0] = True
+            return
+
+        def on_delivery(_msg, v=v) -> None:
+            up = parent[v]
+            pending[up] -= 1
+            if combine_time > 0:
+                sim.queue.schedule(sim.now + combine_time, lambda: maybe_send_up(up))
+            else:
+                maybe_send_up(up)
+
+        sim.send(v, parent[v], size_bytes, on_delivery=on_delivery)
+
+    for v in tree:
+        maybe_send_up(v)
+    sim.run()
+    if not done[0]:
+        raise SimulationError("reduce tree never completed at the root")
+    return finish[0] - start
+
+
+def simulate_allreduce(
+    sim: NetworkSimulator,
+    root: int,
+    size_bytes: float,
+    tree: dict[int, list[int]] | None = None,
+    combine_time: float = 0.0,
+) -> float:
+    """Reduce to ``root`` then broadcast the result (tree allreduce)."""
+    if tree is None:
+        tree = bfs_tree(sim.topology, root)
+    up = simulate_reduce(sim, root, size_bytes, tree, combine_time)
+    down = simulate_broadcast(sim, root, size_bytes, tree)
+    return up + down

@@ -1,0 +1,76 @@
+"""Deterministic discrete-event queue.
+
+A thin wrapper over :mod:`heapq` holding ``(time, sequence, callback)``
+entries. The monotone sequence number makes simultaneous events fire in
+scheduling order, so every simulation is bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+
+from repro.exceptions import SimulationError
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Time-ordered callback queue with deterministic tie-breaking."""
+
+    def __init__(self):
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (time of the last fired event)."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events not yet fired."""
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        """Number of events fired so far."""
+        return self._processed
+
+    def schedule(self, time: float, callback: Callable[[], None]) -> None:
+        """Fire ``callback`` at simulation ``time``.
+
+        Scheduling into the past is a causality violation and raises
+        :class:`~repro.exceptions.SimulationError`.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"causality violation: scheduling at t={time} < now={self._now}"
+            )
+        heapq.heappush(self._heap, (float(time), self._seq, callback))
+        self._seq += 1
+
+    def run(self, max_events: int | None = None) -> float:
+        """Fire events until the queue drains (or ``max_events``); return final time."""
+        fired = 0
+        while self._heap:
+            if max_events is not None and fired >= max_events:
+                break
+            time, _seq, callback = heapq.heappop(self._heap)
+            self._now = time
+            self._processed += 1
+            fired += 1
+            callback()
+        return self._now
+
+    def step(self) -> bool:
+        """Fire exactly one event; False when the queue is empty."""
+        if not self._heap:
+            return False
+        time, _seq, callback = heapq.heappop(self._heap)
+        self._now = time
+        self._processed += 1
+        callback()
+        return True

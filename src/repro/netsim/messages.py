@@ -1,0 +1,79 @@
+"""Message records and aggregate statistics."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["Message", "MessageStats"]
+
+
+@dataclasses.dataclass
+class Message:
+    """One point-to-point message tracked by the simulator.
+
+    Times are microseconds of simulation time; ``deliver_time`` is filled in
+    when the tail of the message reaches the destination processor.
+    """
+
+    msg_id: int
+    src: int
+    dst: int
+    size_bytes: float
+    send_time: float
+    deliver_time: float | None = None
+    hops: int = 0
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency (send to full delivery), in microseconds."""
+        if self.deliver_time is None:
+            raise ValueError(f"message {self.msg_id} not delivered yet")
+        return self.deliver_time - self.send_time
+
+
+class MessageStats:
+    """Streaming accumulator of delivered-message latencies and volume."""
+
+    def __init__(self):
+        self._latencies: list[float] = []
+        self._hop_bytes = 0.0
+        self._bytes = 0.0
+
+    def record(self, message: Message) -> None:
+        """Account one delivered message."""
+        self._latencies.append(message.latency)
+        self._bytes += message.size_bytes
+        self._hop_bytes += message.size_bytes * message.hops
+
+    @property
+    def count(self) -> int:
+        """Delivered messages so far."""
+        return len(self._latencies)
+
+    @property
+    def total_bytes(self) -> float:
+        """Total payload bytes delivered."""
+        return self._bytes
+
+    @property
+    def hops_per_byte(self) -> float:
+        """Observed average hops per byte over delivered traffic."""
+        return self._hop_bytes / self._bytes if self._bytes else 0.0
+
+    def latencies(self) -> np.ndarray:
+        """Delivered latencies as an array (microseconds)."""
+        return np.asarray(self._latencies, dtype=np.float64)
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean delivered latency in microseconds."""
+        lat = self.latencies()
+        return float(lat.mean()) if len(lat) else 0.0
+
+    @property
+    def max_latency(self) -> float:
+        """Worst delivered latency in microseconds."""
+        lat = self.latencies()
+        return float(lat.max()) if len(lat) else 0.0

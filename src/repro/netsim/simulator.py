@@ -1,0 +1,332 @@
+"""Point-to-point network simulation with per-link FIFO contention.
+
+Model (all times in microseconds, sizes in bytes):
+
+* Every directed link carries one message at a time; messages queue FIFO.
+* Transmitting a message of size ``S`` over one link takes
+  ``alpha + S / bandwidth`` — a per-hop routing/arbitration latency plus the
+  serialization time — and the link is occupied for that whole interval.
+* **Virtual cut-through** (default): the head is forwarded to the next link
+  after ``alpha``, so a multi-hop message pipelines — an uncontended L-hop
+  delivery costs ``L * alpha + S / bandwidth`` (wormhole-style no-load
+  latency, the regime the paper's introduction describes where hop count
+  barely matters without contention).
+* **Store-and-forward**: the next hop begins only after the full message
+  arrived, costing ``L * (alpha + S / bandwidth)`` uncontended — kept as an
+  ablation contrast.
+
+Contention is what the paper is about: a random mapping makes every message
+cross many links, multiplying the per-link offered load; once a link's
+utilization saturates, FIFO queues grow and latencies blow up — exactly the
+Figure 7 behaviour. Messages between tasks on the same processor bypass the
+network for a fixed small ``local_latency``.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from collections.abc import Callable
+
+from repro.exceptions import SimulationError
+from repro.netsim.eventqueue import EventQueue
+from repro.netsim.messages import Message, MessageStats
+from repro.topology.base import Topology
+
+__all__ = ["LinkModel", "RoutingPolicy", "NetworkSimulator"]
+
+
+class LinkModel(enum.Enum):
+    """Forwarding discipline for multi-hop messages."""
+
+    CUT_THROUGH = "cut_through"
+    STORE_AND_FORWARD = "store_and_forward"
+
+
+class RoutingPolicy(enum.Enum):
+    """How a route is chosen for each message.
+
+    ``DOR`` is deterministic dimension-ordered routing (the topology's
+    canonical route — what BlueGene/L uses in deterministic mode and what
+    the mapping metrics assume). ``ADAPTIVE`` approximates the machine's
+    adaptive mode: on grid topologies each message picks, at injection time,
+    the minimal route (one per axis order) whose links currently look least
+    congested. Adaptivity spreads a random mapping's traffic over more
+    links, narrowing the topo-aware-vs-random gap — the model deviation
+    EXPERIMENTS.md discusses — and the ``test_ablation_routing`` bench
+    quantifies exactly that.
+    """
+
+    DOR = "dor"
+    ADAPTIVE = "adaptive"
+
+
+class _Link:
+    """FIFO transmission state of one directed link."""
+
+    __slots__ = ("busy", "queue", "busy_time", "bytes_carried")
+
+    def __init__(self):
+        self.busy = False
+        self.queue: deque = deque()
+        self.busy_time = 0.0      # accumulated occupancy, for utilization
+        self.bytes_carried = 0.0  # payload bytes that crossed this link
+
+
+class NetworkSimulator:
+    """Discrete-event simulator of a direct network.
+
+    Parameters
+    ----------
+    topology:
+        A direct topology (mesh/torus/hypercube/arbitrary) providing
+        deterministic routes.
+    bandwidth:
+        Link bandwidth in bytes per microsecond (1 byte/us == 1 MB/s).
+    alpha:
+        Per-hop routing latency in microseconds.
+    local_latency:
+        Delivery latency of intra-processor messages (no links used).
+    model:
+        :class:`LinkModel`; virtual cut-through by default.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        bandwidth: float = 1000.0,
+        alpha: float = 0.1,
+        local_latency: float = 0.05,
+        model: LinkModel = LinkModel.CUT_THROUGH,
+        nic_bandwidth: float | None = None,
+        routing: RoutingPolicy = RoutingPolicy.DOR,
+        link_bandwidths: dict[tuple[int, int], float] | None = None,
+    ):
+        if bandwidth <= 0:
+            raise SimulationError(f"bandwidth must be positive, got {bandwidth}")
+        if link_bandwidths:
+            for link, bw in link_bandwidths.items():
+                if bw <= 0:
+                    raise SimulationError(
+                        f"link {link} bandwidth must be positive, got {bw}"
+                    )
+        if nic_bandwidth is not None and nic_bandwidth <= 0:
+            raise SimulationError(f"nic_bandwidth must be positive, got {nic_bandwidth}")
+        if alpha < 0 or local_latency < 0:
+            raise SimulationError("latencies must be non-negative")
+        self._topology = topology
+        self._bandwidth = float(bandwidth)
+        # Heterogeneous machines: per-directed-link overrides of the default
+        # bandwidth ((a, b) applies to both directions unless (b, a) is also
+        # given explicitly).
+        self._link_bandwidths: dict[tuple[int, int], float] = {}
+        if link_bandwidths:
+            for (a, b), bw in link_bandwidths.items():
+                self._link_bandwidths[(int(a), int(b))] = float(bw)
+                self._link_bandwidths.setdefault((int(b), int(a)), float(bw))
+        self._nic_bandwidth = None if nic_bandwidth is None else float(nic_bandwidth)
+        self._alpha = float(alpha)
+        self._local = float(local_latency)
+        self._model = LinkModel(model)
+        self._routing = RoutingPolicy(routing)
+        self.queue = EventQueue()
+        self._links: dict[tuple, _Link] = {}
+        self._routes: dict[tuple[int, int], list[tuple]] = {}
+        self._route_choices: dict[tuple[int, int], list[list[tuple]]] = {}
+        self._next_id = 0
+        self.stats = MessageStats()
+
+    # ------------------------------------------------------------------ misc
+    @property
+    def topology(self) -> Topology:
+        """The simulated machine."""
+        return self._topology
+
+    @property
+    def bandwidth(self) -> float:
+        """Link bandwidth in bytes per microsecond."""
+        return self._bandwidth
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in microseconds."""
+        return self.queue.now
+
+    def _route(self, src: int, dst: int) -> list[tuple]:
+        """Channel sequence for src -> dst: [NIC out], links..., [NIC in].
+
+        When a finite ``nic_bandwidth`` is configured, every message also
+        serializes through the source node's injection channel and the
+        destination node's ejection channel — the per-node bottleneck real
+        machines have (a BlueGene node cannot feed all six links at full
+        rate from one core), which caps how much an optimal mapping can win
+        by on bandwidth alone.
+        """
+        key = (src, dst)
+        if self._routing is RoutingPolicy.ADAPTIVE:
+            return self._pick_adaptive_route(key)
+        route = self._routes.get(key)
+        if route is None:
+            route = self._wrap_nic(self._topology.route_links(src, dst), src, dst)
+            self._routes[key] = route
+        return route
+
+    def _wrap_nic(self, links, src: int, dst: int) -> list[tuple]:
+        route = list(links)
+        if self._nic_bandwidth is not None:
+            route = [("nic_out", src), *route, ("nic_in", dst)]
+        return route
+
+    def _pick_adaptive_route(self, key: tuple[int, int]) -> list[tuple]:
+        """Least-congested minimal route at injection time.
+
+        On grid topologies the candidates are one minimal route per axis
+        order; elsewhere only the canonical route exists. Congestion score
+        of a route = queued messages + busy flags over its links right now.
+        """
+        from itertools import permutations
+
+        from repro.topology.grid import GridTopology
+
+        choices = self._route_choices.get(key)
+        if choices is None:
+            src, dst = key
+            topo = self._topology
+            if isinstance(topo, GridTopology) and topo.ndim > 1:
+                seen: set[tuple] = set()
+                choices = []
+                for order in permutations(range(topo.ndim)):
+                    path = topo.route_axis_order(src, dst, order)
+                    links = tuple(zip(path[:-1], path[1:]))
+                    if links not in seen:
+                        seen.add(links)
+                        choices.append(self._wrap_nic(links, src, dst))
+            else:
+                choices = [self._wrap_nic(topo.route_links(src, dst), src, dst)]
+            self._route_choices[key] = choices
+        if len(choices) == 1:
+            return choices[0]
+        best, best_score = choices[0], None
+        for route in choices:
+            score = 0
+            for channel in route:
+                link = self._links.get(channel)
+                if link is not None:
+                    score += len(link.queue) + (1 if link.busy else 0)
+            if best_score is None or score < best_score:
+                best, best_score = route, score
+        return best
+
+    def _channel_bandwidth(self, channel: tuple) -> float:
+        if isinstance(channel[0], str):  # NIC channel
+            return self._nic_bandwidth
+        return self._link_bandwidths.get(channel, self._bandwidth)
+
+    def _link(self, link_id: tuple[int, int]) -> _Link:
+        link = self._links.get(link_id)
+        if link is None:
+            link = _Link()
+            self._links[link_id] = link
+        return link
+
+    # ------------------------------------------------------------------ send
+    def send(
+        self,
+        src: int,
+        dst: int,
+        size_bytes: float,
+        on_delivery: Callable[[Message], None] | None = None,
+        at: float | None = None,
+    ) -> Message:
+        """Inject a message; returns its :class:`Message` record.
+
+        ``on_delivery`` fires (with the record) when the tail reaches ``dst``.
+        ``at`` defaults to the current simulation time.
+        """
+        if size_bytes <= 0:
+            raise SimulationError(f"message size must be positive, got {size_bytes}")
+        send_time = self.queue.now if at is None else float(at)
+        msg = Message(self._next_id, int(src), int(dst), float(size_bytes), send_time)
+        self._next_id += 1
+
+        if msg.src == msg.dst:  # same processor: no network involved
+            self.queue.schedule(
+                send_time + self._local, lambda: self._deliver(msg, on_delivery)
+            )
+            return msg
+
+        # Route selection is deferred to the injection instant so the
+        # adaptive policy sees the congestion state *then*, not at whatever
+        # earlier time the caller scheduled the send.
+        self.queue.schedule(send_time, lambda: self._inject(msg, on_delivery))
+        return msg
+
+    def _inject(self, msg: Message, on_delivery) -> None:
+        route = self._route(msg.src, msg.dst)
+        msg.hops = sum(1 for ch in route if not isinstance(ch[0], str))
+        self._head_arrival(msg, route, 0, on_delivery)
+
+    # ------------------------------------------------------------ link logic
+    def _head_arrival(self, msg: Message, route, hop: int, on_delivery) -> None:
+        """The head of ``msg`` reached the input of ``route[hop]``."""
+        link = self._link(route[hop])
+        if link.busy:
+            link.queue.append((msg, route, hop, on_delivery))
+        else:
+            self._start_transmission(link, msg, route, hop, on_delivery)
+
+    def _start_transmission(self, link: _Link, msg: Message, route, hop: int,
+                            on_delivery) -> None:
+        now = self.queue.now
+        channel = route[hop]
+        is_nic = isinstance(channel[0], str)
+        serialization = msg.size_bytes / self._channel_bandwidth(channel)
+        # NIC channels model pure serialization; routing latency applies to
+        # network links only.
+        alpha = 0.0 if is_nic else self._alpha
+        occupancy = alpha + serialization
+        link.busy = True
+        link.busy_time += occupancy
+        link.bytes_carried += msg.size_bytes
+
+        # When does the head reach the next stage?
+        if self._model is LinkModel.CUT_THROUGH:
+            head_out = now + alpha
+        else:
+            head_out = now + occupancy
+
+        last_hop = hop == len(route) - 1
+        if last_hop:
+            # Tail fully received at the destination once serialization ends.
+            self.queue.schedule(now + occupancy, lambda: self._deliver(msg, on_delivery))
+        else:
+            self.queue.schedule(
+                head_out, lambda: self._head_arrival(msg, route, hop + 1, on_delivery)
+            )
+        self.queue.schedule(now + occupancy, lambda: self._link_free(link))
+
+    def _link_free(self, link: _Link) -> None:
+        link.busy = False
+        if link.queue:
+            msg, route, hop, on_delivery = link.queue.popleft()
+            self._start_transmission(link, msg, route, hop, on_delivery)
+
+    def _deliver(self, msg: Message, on_delivery) -> None:
+        msg.deliver_time = self.queue.now
+        self.stats.record(msg)
+        if on_delivery is not None:
+            on_delivery(msg)
+
+    # ------------------------------------------------------------------- run
+    def run(self, max_events: int | None = None) -> float:
+        """Drain the event queue; return the final simulation time."""
+        return self.queue.run(max_events)
+
+    # ----------------------------------------------------------------- stats
+    def link_busy_times(self) -> dict[tuple[int, int], float]:
+        """Accumulated occupancy per directed link (microseconds)."""
+        return {k: v.busy_time for k, v in self._links.items()}
+
+    def link_bytes(self) -> dict[tuple[int, int], float]:
+        """Payload bytes carried per directed link."""
+        return {k: v.bytes_carried for k, v in self._links.items()}

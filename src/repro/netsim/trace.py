@@ -1,0 +1,284 @@
+"""Application traces: record once, re-time under any network (Section 5.3).
+
+BigNetSim's workflow, which this module reproduces: "These event traces
+contain timestamps for message sending and entry point initiation.
+Event-dependency information is also available in the traces so that these
+timestamps can be corrected depending on the network being simulated while
+honoring event ordering."
+
+An :class:`ApplicationTrace` is a network-independent program description:
+each task executes a sequence of *phases*; a phase computes for some time,
+emits messages (to task, bytes), and cannot complete until every message
+*addressed to this phase* has arrived. Phase ``k`` of a task starts when
+phase ``k-1`` completed. The :class:`TraceReplayer` re-times a trace through
+a :class:`~repro.netsim.simulator.NetworkSimulator` under a chosen mapping —
+so one recorded trace can be swept over bandwidths, routings and mappings
+(what Figures 7–9 do), and traces round-trip through JSON for archival.
+
+:class:`~repro.netsim.appsim.IterativeApplication` is the special case of a
+uniform Jacobi trace; :func:`jacobi_trace` builds exactly that trace, and
+the equivalence is tested.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from collections import defaultdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.mapping.base import Mapping
+from repro.netsim.simulator import NetworkSimulator
+from repro.taskgraph.graph import TaskGraph
+
+__all__ = ["TracePhase", "ApplicationTrace", "TraceReplayer", "jacobi_trace"]
+
+_FORMAT = "repro-apptrace-v1"
+
+
+@dataclasses.dataclass
+class TracePhase:
+    """One compute/communicate step of one task.
+
+    ``sends`` deliver into the *matching phase index* of the destination
+    task; ``expected_receives`` is how many such messages this phase waits
+    for before the task may advance.
+    """
+
+    compute_time: float
+    sends: list[tuple[int, float]] = dataclasses.field(default_factory=list)
+    expected_receives: int = 0
+
+
+class ApplicationTrace:
+    """A network-independent execution record of ``num_tasks`` tasks."""
+
+    def __init__(self, phases: list[list[TracePhase]]):
+        if not phases:
+            raise SimulationError("trace needs at least one task")
+        depth = len(phases[0])
+        for task_phases in phases:
+            if len(task_phases) != depth:
+                raise SimulationError("all tasks must have the same phase count")
+        if depth == 0:
+            raise SimulationError("trace needs at least one phase")
+        self._phases = phases
+        self._validate_matching()
+
+    def _validate_matching(self) -> None:
+        """Every phase's expected receives must match the sends aimed at it."""
+        n = self.num_tasks
+        for k in range(self.num_phases):
+            incoming = [0] * n
+            for t in range(n):
+                for dst, size in self._phases[t][k].sends:
+                    if not 0 <= dst < n:
+                        raise SimulationError(f"send to unknown task {dst}")
+                    if size <= 0:
+                        raise SimulationError(f"non-positive message size {size}")
+                    incoming[dst] += 1
+            for t in range(n):
+                if self._phases[t][k].expected_receives != incoming[t]:
+                    raise SimulationError(
+                        f"task {t} phase {k} expects "
+                        f"{self._phases[t][k].expected_receives} receives but "
+                        f"{incoming[t]} messages are addressed to it"
+                    )
+
+    @property
+    def num_tasks(self) -> int:
+        """Number of tasks in the traced program."""
+        return len(self._phases)
+
+    @property
+    def num_phases(self) -> int:
+        """Phases per task (all tasks advance through the same count)."""
+        return len(self._phases[0])
+
+    def phase(self, task: int, k: int) -> TracePhase:
+        """The ``k``-th phase of ``task``."""
+        return self._phases[task][k]
+
+    def total_bytes(self) -> float:
+        """Total traffic the trace emits across all phases."""
+        return sum(
+            size
+            for task_phases in self._phases
+            for ph in task_phases
+            for _, size in ph.sends
+        )
+
+    # ------------------------------------------------------------- JSON I/O
+    def to_json(self) -> str:
+        payload = {
+            "format": _FORMAT,
+            "tasks": [
+                [
+                    {
+                        "compute": ph.compute_time,
+                        "sends": [[dst, size] for dst, size in ph.sends],
+                        "recv": ph.expected_receives,
+                    }
+                    for ph in task_phases
+                ]
+                for task_phases in self._phases
+            ],
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ApplicationTrace":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SimulationError(f"invalid trace JSON: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+            raise SimulationError(f"not a {_FORMAT} document")
+        try:
+            phases = [
+                [
+                    TracePhase(
+                        compute_time=float(ph["compute"]),
+                        sends=[(int(d), float(s)) for d, s in ph["sends"]],
+                        expected_receives=int(ph["recv"]),
+                    )
+                    for ph in task_phases
+                ]
+                for task_phases in payload["tasks"]
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SimulationError(f"malformed trace document: {exc}") from exc
+        return cls(phases)
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace to a file."""
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ApplicationTrace":
+        """Read a trace written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text())
+
+
+def jacobi_trace(graph: TaskGraph, iterations: int,
+                 compute_time: float | np.ndarray = 1.0,
+                 message_bytes: float | None = None) -> ApplicationTrace:
+    """The uniform Jacobi trace: every phase sends to all graph neighbors.
+
+    With ``message_bytes=None`` each undirected edge of weight ``w`` carries
+    ``w/2`` per direction per phase (matching the pattern generators).
+    """
+    if iterations < 1:
+        raise SimulationError(f"iterations must be >= 1, got {iterations}")
+    n = graph.num_tasks
+    compute = np.broadcast_to(np.asarray(compute_time, dtype=np.float64), (n,))
+    phases: list[list[TracePhase]] = []
+    for t in range(n):
+        nbrs, wts = graph.neighbor_slice(t)
+        sends = [
+            (int(j), float(message_bytes if message_bytes is not None else w / 2.0))
+            for j, w in zip(nbrs, wts)
+        ]
+        template = TracePhase(
+            compute_time=float(compute[t]),
+            sends=sends,
+            expected_receives=len(sends),
+        )
+        phases.append([dataclasses.replace(template, sends=list(sends))
+                       for _ in range(iterations)])
+    return ApplicationTrace(phases)
+
+
+@dataclasses.dataclass
+class TraceResult:
+    """Outcome of one trace replay."""
+
+    total_time: float
+    phases: int
+    mean_message_latency: float
+    messages_delivered: int
+
+
+class TraceReplayer:
+    """Re-time an :class:`ApplicationTrace` under a mapping and network."""
+
+    def __init__(self, trace: ApplicationTrace, mapping: Mapping,
+                 simulator: NetworkSimulator):
+        if mapping.graph.num_tasks != trace.num_tasks:
+            raise SimulationError(
+                f"mapping covers {mapping.graph.num_tasks} tasks but the "
+                f"trace has {trace.num_tasks}"
+            )
+        self._trace = trace
+        self._mapping = mapping
+        self._sim = simulator
+        self._ran = False
+
+    def run(self) -> TraceResult:
+        """Replay to completion, honoring compute and receive dependencies."""
+        if self._ran:
+            raise SimulationError("TraceReplayer.run() may only be called once")
+        self._ran = True
+        trace, sim = self._trace, self._sim
+        n, depth = trace.num_tasks, trace.num_phases
+        assign = self._mapping.assignment
+
+        cur = np.zeros(n, dtype=np.int64)
+        compute_done = np.zeros(n, dtype=bool)
+        arrived: list[defaultdict[int, int]] = [defaultdict(int) for _ in range(n)]
+        finished = 0
+        finish_time = 0.0
+
+        def begin(task: int) -> None:
+            compute_done[task] = False
+            sim.queue.schedule(
+                sim.now + trace.phase(task, int(cur[task])).compute_time,
+                lambda: computed(task),
+            )
+
+        def computed(task: int) -> None:
+            compute_done[task] = True
+            k = int(cur[task])
+            for dst, size in trace.phase(task, k).sends:
+                sim.send(int(assign[task]), int(assign[dst]), size,
+                         on_delivery=receiver(dst, k))
+            advance(task)
+
+        def receiver(dst: int, k: int):
+            def _on_delivery(_msg) -> None:
+                arrived[dst][k] += 1
+                advance(dst)
+
+            return _on_delivery
+
+        def advance(task: int) -> None:
+            nonlocal finished, finish_time
+            k = int(cur[task])
+            if not compute_done[task]:
+                return
+            if arrived[task][k] < trace.phase(task, k).expected_receives:
+                return
+            del arrived[task][k]
+            if k + 1 < depth:
+                cur[task] = k + 1
+                begin(task)
+            else:
+                finished += 1
+                finish_time = max(finish_time, sim.now)
+
+        for t in range(n):
+            begin(t)
+        sim.run()
+        if finished != n:
+            raise SimulationError(
+                f"deadlock: only {finished}/{n} tasks completed the trace"
+            )
+        return TraceResult(
+            total_time=finish_time,
+            phases=depth,
+            mean_message_latency=sim.stats.mean_latency,
+            messages_delivered=sim.stats.count,
+        )

@@ -1,0 +1,166 @@
+"""Open-loop synthetic traffic generators and saturation sweeps.
+
+Interconnect simulators are traditionally characterized with synthetic
+traffic before any application runs: each processor injects fixed-size
+messages at a given rate under a destination pattern, and mean latency is
+plotted against offered load until the network saturates. The paper's whole
+premise lives in these curves — a pattern whose average hop count is high
+saturates at a *lower* offered load because each message consumes more
+link-bandwidth-hops — so the generators double as a validation harness for
+the simulator itself (see ``tests/netsim/test_traffic.py`` and
+``benchmarks/test_ablation_saturation.py``).
+
+Patterns:
+
+* ``uniform``      — destination uniformly random per message,
+* ``permutation``  — a fixed random permutation (each node talks to one peer),
+* ``neighbor``     — a random machine neighbor per message (1 hop; the
+  traffic an ideal stencil mapping produces),
+* ``transpose``    — node with reversed grid coordinates (adversarial for
+  dimension-ordered routing),
+* ``hotspot``      — a fraction of traffic targets one node.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.netsim.simulator import NetworkSimulator
+from repro.topology.base import Topology
+from repro.topology.grid import GridTopology
+from repro.utils.rng import as_rng
+
+__all__ = ["TrafficPattern", "make_pattern", "run_open_loop", "OpenLoopResult"]
+
+#: A traffic pattern: (source, rng) -> destination processor.
+TrafficPattern = Callable[[int, np.random.Generator], int]
+
+
+def make_pattern(name: str, topology: Topology,
+                 seed: int | np.random.Generator | None = 0,
+                 hotspot_fraction: float = 0.2) -> TrafficPattern:
+    """Build a named destination pattern for ``topology``."""
+    p = topology.num_nodes
+    rng = as_rng(seed)
+
+    if name == "uniform":
+        def uniform(src: int, r: np.random.Generator) -> int:
+            dst = int(r.integers(0, p))
+            return dst
+        return uniform
+
+    if name == "permutation":
+        perm = rng.permutation(p)
+        # Avoid fixed points so every message really enters the network.
+        for i in range(p):
+            if perm[i] == i:
+                j = (i + 1) % p
+                perm[i], perm[j] = perm[j], perm[i]
+        return lambda src, r: int(perm[src])
+
+    if name == "neighbor":
+        nbrs = [topology.neighbors(v) for v in range(p)]
+        def neighbor(src: int, r: np.random.Generator) -> int:
+            options = nbrs[src]
+            if not options:
+                return src
+            return int(options[int(r.integers(0, len(options)))])
+        return neighbor
+
+    if name == "transpose":
+        if not isinstance(topology, GridTopology):
+            raise SimulationError("transpose pattern needs a grid topology")
+        mapping = np.empty(p, dtype=np.int64)
+        for v in range(p):
+            coords = topology.coords(v)
+            flipped = tuple(
+                min(c, s - 1)  # clamp for non-square extents
+                for c, s in zip(reversed(coords), topology.shape)
+            )
+            mapping[v] = topology.index(flipped)
+        return lambda src, r: int(mapping[src])
+
+    if name == "hotspot":
+        if not 0 < hotspot_fraction <= 1:
+            raise SimulationError("hotspot_fraction must be in (0, 1]")
+        hot = p // 2
+        def hotspot(src: int, r: np.random.Generator) -> int:
+            if r.random() < hotspot_fraction:
+                return hot
+            return int(r.integers(0, p))
+        return hotspot
+
+    raise SimulationError(
+        f"unknown traffic pattern {name!r}; "
+        "options: uniform, permutation, neighbor, transpose, hotspot"
+    )
+
+
+@dataclasses.dataclass
+class OpenLoopResult:
+    """Outcome of one open-loop injection run."""
+
+    pattern: str
+    offered_load: float        # fraction of link bandwidth injected per node
+    mean_latency: float        # us
+    p95_latency: float         # us
+    throughput: float          # delivered bytes / (nodes * time * bandwidth)
+    delivered: int
+    duration: float            # us of simulated injection window
+
+
+def run_open_loop(
+    simulator: NetworkSimulator,
+    pattern: str | TrafficPattern,
+    offered_load: float,
+    message_bytes: float = 512.0,
+    duration: float = 2_000.0,
+    seed: int | np.random.Generator | None = 0,
+    drain: bool = True,
+) -> OpenLoopResult:
+    """Inject Poisson traffic at ``offered_load`` and measure latency.
+
+    ``offered_load`` is the per-node injection rate as a fraction of one
+    link's bandwidth (the standard normalization): at load ``L`` each node
+    injects ``L * bandwidth / message_bytes`` messages per microsecond,
+    scheduled as a Poisson process over ``duration``.
+    """
+    if not 0 < offered_load:
+        raise SimulationError(f"offered_load must be positive, got {offered_load}")
+    rng = as_rng(seed)
+    topo = simulator.topology
+    pattern_name = pattern if isinstance(pattern, str) else getattr(pattern, "__name__", "custom")
+    dest = make_pattern(pattern, topo, rng) if isinstance(pattern, str) else pattern
+
+    rate = offered_load * simulator.bandwidth / message_bytes  # msgs/us/node
+    for src in range(topo.num_nodes):
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / rate))
+            if t >= duration:
+                break
+            dst = dest(src, rng)
+            if dst != src:
+                simulator.send(src, dst, message_bytes, at=t)
+    simulator.run()
+
+    lat = simulator.stats.latencies()
+    delivered = simulator.stats.count
+    span = simulator.now if drain else duration
+    throughput = (
+        simulator.stats.total_bytes
+        / (topo.num_nodes * max(span, 1e-9) * simulator.bandwidth)
+    )
+    return OpenLoopResult(
+        pattern=pattern_name,
+        offered_load=offered_load,
+        mean_latency=float(lat.mean()) if len(lat) else 0.0,
+        p95_latency=float(np.percentile(lat, 95)) if len(lat) else 0.0,
+        throughput=throughput,
+        delivered=delivered,
+        duration=duration,
+    )

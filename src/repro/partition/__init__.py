@@ -1,0 +1,30 @@
+"""Topology-oblivious partitioning (phase 1 of the two-phase approach).
+
+The paper partitions the ``n`` compute objects into ``p`` balanced groups
+before mapping, using METIS or a Charm++ greedy strategy. This package is
+the from-scratch substitute:
+
+* :class:`GreedyPartitioner` — load-only LPT assignment (GreedyLB analog),
+* :class:`RecursiveBisectionPartitioner` — BFS graph-growing bisection,
+* :class:`MultilevelPartitioner` — METIS-style multilevel k-way pipeline
+  (heavy-edge-matching coarsening, recursive-bisection initial partition,
+  FM boundary refinement during uncoarsening).
+"""
+
+from repro.partition.base import Partitioner
+from repro.partition.greedy import GreedyPartitioner
+from repro.partition.recursive_bisection import RecursiveBisectionPartitioner
+from repro.partition.multilevel import MultilevelPartitioner
+from repro.partition.spectral import SpectralPartitioner
+from repro.partition.metrics import edge_cut_bytes, partition_imbalance, partition_sizes
+
+__all__ = [
+    "Partitioner",
+    "GreedyPartitioner",
+    "RecursiveBisectionPartitioner",
+    "MultilevelPartitioner",
+    "SpectralPartitioner",
+    "edge_cut_bytes",
+    "partition_imbalance",
+    "partition_sizes",
+]

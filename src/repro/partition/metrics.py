@@ -1,0 +1,53 @@
+"""Partition-quality metrics: cut bytes, balance, group sizes."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import PartitionError
+from repro.taskgraph.graph import TaskGraph
+
+__all__ = ["edge_cut_bytes", "partition_imbalance", "partition_sizes"]
+
+
+def _as_groups(graph: TaskGraph, groups: Sequence[int]) -> np.ndarray:
+    arr = np.asarray(groups, dtype=np.int64)
+    if arr.shape != (graph.num_tasks,):
+        raise PartitionError(
+            f"groups must have shape ({graph.num_tasks},), got {arr.shape}"
+        )
+    if len(arr) and arr.min() < 0:
+        raise PartitionError("group ids must be non-negative")
+    return arr
+
+
+def edge_cut_bytes(graph: TaskGraph, groups: Sequence[int]) -> float:
+    """Total bytes on edges whose endpoints sit in different groups.
+
+    This is what phase 1 minimizes — bytes that will have to cross the
+    network at all (phase 2 then decides how *far* they travel).
+    """
+    arr = _as_groups(graph, groups)
+    u, v, w = graph.edge_arrays()
+    if len(w) == 0:
+        return 0.0
+    return float(w[arr[u] != arr[v]].sum())
+
+
+def partition_sizes(graph: TaskGraph, groups: Sequence[int], k: int | None = None) -> np.ndarray:
+    """Summed task load per group."""
+    arr = _as_groups(graph, groups)
+    if k is None:
+        k = int(arr.max()) + 1 if len(arr) else 0
+    return np.bincount(arr, weights=graph.vertex_weights, minlength=k)
+
+
+def partition_imbalance(graph: TaskGraph, groups: Sequence[int], k: int | None = None) -> float:
+    """``max group load / mean group load`` (1.0 = perfect balance)."""
+    sizes = partition_sizes(graph, groups, k)
+    mean = sizes.mean()
+    if mean == 0:
+        return 1.0
+    return float(sizes.max() / mean)

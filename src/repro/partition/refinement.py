@@ -1,0 +1,137 @@
+"""FM-style k-way boundary refinement.
+
+After projecting a coarse partition down a level, boundary vertices may sit
+better in a neighboring group. Each pass scans the boundary in random order
+and greedily applies the best strictly-cut-reducing move that keeps every
+group within the load ceiling and non-empty. Passes repeat until quiescent
+or the pass budget runs out — the standard greedy simplification of
+Fiduccia–Mattheyses used by multilevel partitioners.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.taskgraph.graph import TaskGraph
+from repro.utils.rng import as_rng
+
+__all__ = ["refine_kway", "rebalance_kway"]
+
+
+def rebalance_kway(
+    graph: TaskGraph,
+    groups: np.ndarray,
+    k: int,
+    max_load: float,
+    max_moves: int | None = None,
+) -> np.ndarray:
+    """Push overloaded groups under ``max_load`` with minimum cut damage.
+
+    Repeatedly takes the most-loaded group above the ceiling and moves out
+    the vertex whose departure costs the least cut bytes, into the
+    receiving group (preferring communication-adjacent ones) with the most
+    headroom. Vertices heavier than the ceiling itself are unmovable-by-
+    balance and are skipped; the loop is bounded by ``max_moves`` (default
+    ``4 n``) so pathological inputs terminate.
+    """
+    loads = np.bincount(groups, weights=graph.vertex_weights, minlength=k).astype(np.float64)
+    counts = np.bincount(groups, minlength=k)
+    weights = graph.vertex_weights
+    if max_moves is None:
+        max_moves = 4 * graph.num_tasks
+
+    for _ in range(max_moves):
+        src = int(np.argmax(loads))
+        if loads[src] <= max_load:
+            break
+        members = np.flatnonzero(groups == src)
+        if counts[src] <= 1:
+            break
+        best: tuple[float, int, int] | None = None  # (cut_delta, vertex, dst)
+        order = members[np.argsort(weights[members])[::-1]]  # heavy first
+        for v in order:
+            v = int(v)
+            w = float(weights[v])
+            nbrs, wts = graph.neighbor_slice(v)
+            conn: dict[int, float] = {}
+            for j, c in zip(nbrs, wts):
+                g = int(groups[j])
+                conn[g] = conn.get(g, 0.0) + float(c)
+            internal = conn.get(src, 0.0)
+            # Candidate destinations: adjacent groups first, then the
+            # globally lightest group as a fallback.
+            candidates = [g for g in conn if g != src]
+            lightest = int(np.argmin(loads))
+            if lightest != src:
+                candidates.append(lightest)
+            for g in candidates:
+                if loads[g] + w > max_load and loads[g] + w >= loads[src]:
+                    continue  # move would not even help balance
+                cut_delta = internal - conn.get(g, 0.0)
+                if best is None or cut_delta < best[0]:
+                    best = (cut_delta, v, g)
+            if best is not None and best[0] <= 0:
+                break  # a free (or cut-improving) balance move exists
+        if best is None:
+            break
+        _, v, dst = best
+        groups[v] = dst
+        loads[src] -= weights[v]
+        loads[dst] += weights[v]
+        counts[src] -= 1
+        counts[dst] += 1
+    return groups
+
+
+def refine_kway(
+    graph: TaskGraph,
+    groups: np.ndarray,
+    k: int,
+    max_load: float,
+    passes: int = 4,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Refine ``groups`` in place toward lower cut bytes; returns it.
+
+    ``max_load`` is the hard per-group load ceiling (typically
+    ``tolerance * total / k``); moves that would breach it, or would empty
+    the source group, are rejected.
+    """
+    rng = as_rng(seed)
+    loads = np.bincount(groups, weights=graph.vertex_weights, minlength=k).astype(np.float64)
+    counts = np.bincount(groups, minlength=k)
+    weights = graph.vertex_weights
+
+    for _pass in range(passes):
+        moved = False
+        for v in rng.permutation(graph.num_tasks):
+            v = int(v)
+            src = int(groups[v])
+            if counts[src] <= 1:
+                continue
+            nbrs, wts = graph.neighbor_slice(v)
+            if len(nbrs) == 0:
+                continue
+            # Connectivity of v to each adjacent group.
+            conn: dict[int, float] = {}
+            for j, w in zip(nbrs, wts):
+                g = int(groups[j])
+                conn[g] = conn.get(g, 0.0) + float(w)
+            internal = conn.get(src, 0.0)
+            best_g, best_gain = -1, 0.0
+            for g, c in conn.items():
+                if g == src:
+                    continue
+                gain = c - internal
+                if gain > best_gain and loads[g] + weights[v] <= max_load:
+                    best_g, best_gain = g, gain
+            if best_g >= 0:
+                groups[v] = best_g
+                loads[src] -= weights[v]
+                loads[best_g] += weights[v]
+                counts[src] -= 1
+                counts[best_g] += 1
+                moved = True
+        if not moved:
+            break
+    return groups

@@ -1,0 +1,114 @@
+"""Spectral recursive-bisection partitioner.
+
+A second comm-aware phase-1 option next to the multilevel partitioner: the
+Fiedler vector (second-smallest eigenvector of the weighted graph Laplacian)
+orders vertices along the graph's smoothest direction; splitting at the
+weighted median gives a balanced bisection with provably related cut quality
+(Cheeger). Recursing yields k groups. Slower than multilevel but often
+smoother cuts on geometric task graphs — an ablation-worthy contrast
+(``benchmarks/test_ablation_partitioners.py``).
+
+Uses ``scipy.sparse.linalg.eigsh`` on the Laplacian with a dense fallback
+for tiny subproblems; disconnected subgraphs fall back to the BFS-growing
+bisection (a Fiedler vector is only meaningful on connected graphs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.partition.base import Partitioner
+from repro.partition.recursive_bisection import RecursiveBisectionPartitioner
+from repro.taskgraph.graph import TaskGraph
+from repro.utils.rng import as_rng
+from repro.utils.union_find import UnionFind
+
+__all__ = ["SpectralPartitioner"]
+
+#: Below this size a dense eigensolve is both faster and more robust.
+_DENSE_CUTOFF = 64
+
+
+class SpectralPartitioner(Partitioner):
+    """Recursive Fiedler-vector bisection."""
+
+    strategy_name = "SpectralPartition"
+
+    def __init__(self, seed: int | np.random.Generator | None = 0):
+        self._seed = seed
+
+    def partition(self, graph: TaskGraph, k: int) -> np.ndarray:
+        k = self._check(graph, k)
+        rng = as_rng(self._seed)
+        groups = np.zeros(graph.num_tasks, dtype=np.int64)
+        self._split(graph, np.arange(graph.num_tasks), k, 0, groups, rng)
+        return self._validate_result(groups, graph.num_tasks, k)
+
+    # ------------------------------------------------------------------ core
+    def _split(self, graph: TaskGraph, subset: np.ndarray, k: int, base: int,
+               groups: np.ndarray, rng: np.random.Generator) -> None:
+        if k == 1:
+            groups[subset] = base
+            return
+        k1 = k // 2
+        k2 = k - k1
+        side_a = self._fiedler_bisect(graph, subset, k1, k2, rng)
+        self._split(graph, subset[side_a], k1, base, groups, rng)
+        self._split(graph, subset[~side_a], k2, base + k1, groups, rng)
+
+    def _fiedler_bisect(self, graph: TaskGraph, subset: np.ndarray,
+                        k1: int, k2: int, rng: np.random.Generator) -> np.ndarray:
+        """Boolean mask over ``subset``; True side gets ``k1`` groups."""
+        fiedler = self._fiedler_vector(graph, subset, rng)
+        if fiedler is None:
+            # Disconnected or degenerate: BFS graph growing handles it.
+            return RecursiveBisectionPartitioner(seed=rng)._grow_bisection(
+                graph, subset, k1, k2, rng
+            )
+        # Split at the load-weighted quantile, respecting count floors.
+        order = np.argsort(fiedler, kind="stable")
+        weights = graph.vertex_weights[subset][order]
+        cum = np.cumsum(weights)
+        target = cum[-1] * k1 / (k1 + k2)
+        cut = int(np.searchsorted(cum, target)) + 1
+        cut = min(max(cut, k1), len(subset) - k2)
+        mask = np.zeros(len(subset), dtype=bool)
+        mask[order[:cut]] = True
+        return mask
+
+    @staticmethod
+    def _fiedler_vector(graph: TaskGraph, subset: np.ndarray,
+                        rng: np.random.Generator) -> np.ndarray | None:
+        n = len(subset)
+        if n < 4:
+            return None
+        local = {int(t): i for i, t in enumerate(subset)}
+        rows, cols, vals = [], [], []
+        uf = UnionFind(n)
+        u, v, w = graph.edge_arrays()
+        for a, b, wt in zip(u.tolist(), v.tolist(), w.tolist()):
+            ia, ib = local.get(a), local.get(b)
+            if ia is None or ib is None or wt <= 0:
+                continue
+            rows += [ia, ib]
+            cols += [ib, ia]
+            vals += [wt, wt]
+            uf.union(ia, ib)
+        if uf.num_components != 1:
+            return None
+        adj = sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+        degree = np.asarray(adj.sum(axis=1)).ravel()
+        laplacian = sp.diags(degree) - adj
+        if n <= _DENSE_CUTOFF:
+            eigvals, eigvecs = np.linalg.eigh(laplacian.toarray())
+            return eigvecs[:, 1]
+        try:
+            _, eigvecs = spla.eigsh(
+                laplacian.asfptype(), k=2, sigma=-1e-3, which="LM",
+                v0=rng.standard_normal(n),
+            )
+            return eigvecs[:, 1]
+        except (spla.ArpackError, RuntimeError):  # pragma: no cover - rare
+            return None

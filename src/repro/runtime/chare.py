@@ -1,0 +1,103 @@
+"""A minimal migratable-objects (chare) programming model.
+
+Charm++ programs are collections of *chares* — migratable objects whose
+loads and communication the runtime measures during execution and feeds to
+the load-balancing framework. This module provides the instrumentation side
+of that model: user code runs its "iterations" against a :class:`ChareArray`
+(doing work via :meth:`ChareArray.work` and messaging via
+:meth:`ChareArray.send`), and the array accumulates everything into an
+:class:`~repro.runtime.lbdb.LBDatabase` ready for dumping or balancing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.exceptions import TaskGraphError
+from repro.runtime.lbdb import LBDatabase
+
+__all__ = ["ChareArray"]
+
+
+class ChareArray:
+    """An indexed collection of migratable compute objects.
+
+    Parameters
+    ----------
+    num_chares:
+        Number of objects in the array.
+    num_processors:
+        Machine size; the initial placement is round-robin (Charm++'s
+        default block/cyclic placement family).
+    """
+
+    def __init__(self, num_chares: int, num_processors: int):
+        if num_chares < 1:
+            raise TaskGraphError(f"need at least one chare, got {num_chares}")
+        if num_processors < 1:
+            raise TaskGraphError(f"need at least one processor, got {num_processors}")
+        self._n = int(num_chares)
+        self._p = int(num_processors)
+        self._db = LBDatabase(self._n)
+        self._placement = np.arange(self._n, dtype=np.int64) % self._p
+        self._db.set_placement(self._placement)
+
+    @property
+    def num_chares(self) -> int:
+        """Number of objects in the array."""
+        return self._n
+
+    @property
+    def num_processors(self) -> int:
+        """Machine size this array runs on."""
+        return self._p
+
+    @property
+    def database(self) -> LBDatabase:
+        """The accumulated load-balancing database."""
+        return self._db
+
+    @property
+    def placement(self) -> np.ndarray:
+        """Current chare → processor placement (copied)."""
+        return self._placement.copy()
+
+    # ------------------------------------------------------------- execution
+    def work(self, chare: int, load: float) -> None:
+        """Record that ``chare`` performed ``load`` units of computation."""
+        self._db.record_load(chare, load)
+
+    def send(self, src: int, dst: int, num_bytes: float) -> None:
+        """Record a message of ``num_bytes`` from ``src`` to ``dst``."""
+        self._db.record_comm(src, dst, num_bytes)
+
+    def run_iteration(self, body: Callable[[int], None] | None = None) -> None:
+        """Run one measured iteration.
+
+        ``body(chare_id)`` is invoked for every chare (it should call
+        :meth:`work` / :meth:`send`); afterwards the measurement step closes.
+        """
+        if body is not None:
+            for c in range(self._n):
+                body(c)
+        self._db.end_step()
+
+    # ------------------------------------------------------------- migration
+    def migrate(self, new_placement) -> None:
+        """Apply a new placement (the PUP-and-move step of Charm++ LB).
+
+        All chares are migratable; the array simply adopts the assignment
+        computed by a strategy.
+        """
+        arr = np.asarray(new_placement, dtype=np.int64)
+        if arr.shape != (self._n,):
+            raise TaskGraphError(f"placement must have shape ({self._n},)")
+        if len(arr) and (arr.min() < 0 or arr.max() >= self._p):
+            raise TaskGraphError("placement references processors outside the machine")
+        self._placement = arr.copy()
+        self._db.set_placement(self._placement)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ChareArray n={self._n} on p={self._p}>"

@@ -1,0 +1,249 @@
+"""The :class:`TaskGraph` data structure.
+
+A task graph is immutable once built. Adjacency is stored in CSR form (the
+layout the mapping inner loops iterate over — contiguous neighbor/weight
+slices per vertex, per the vectorization guidance for numeric Python) plus a
+deduplicated undirected edge list for whole-graph metrics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import TaskGraphError
+
+__all__ = ["TaskGraph"]
+
+
+class TaskGraph:
+    """Weighted undirected task graph.
+
+    Parameters
+    ----------
+    num_tasks:
+        Number of compute objects ``n``.
+    edges:
+        Iterable of ``(a, b, bytes)`` triples. Duplicate ``(a, b)`` pairs (in
+        either orientation) are merged by summing their byte counts —
+        matching how a load-balancing database accumulates per-pair traffic.
+    vertex_weights:
+        Optional per-task computation load; defaults to 1.0 for every task.
+    """
+
+    def __init__(
+        self,
+        num_tasks: int,
+        edges: Iterable[tuple[int, int, float]] = (),
+        vertex_weights: Sequence[float] | None = None,
+    ):
+        if num_tasks < 1:
+            raise TaskGraphError(f"task graph needs at least one task, got {num_tasks}")
+        self._n = int(num_tasks)
+
+        if vertex_weights is None:
+            self._vertex_weights = np.ones(self._n, dtype=np.float64)
+        else:
+            self._vertex_weights = np.asarray(vertex_weights, dtype=np.float64).copy()
+            if self._vertex_weights.shape != (self._n,):
+                raise TaskGraphError(
+                    f"vertex_weights must have shape ({self._n},), "
+                    f"got {self._vertex_weights.shape}"
+                )
+            if (self._vertex_weights < 0).any():
+                raise TaskGraphError("vertex weights must be non-negative")
+        self._vertex_weights.flags.writeable = False
+
+        # Accumulate undirected edges with canonical (min, max) keys.
+        acc: dict[tuple[int, int], float] = {}
+        for a, b, w in edges:
+            a, b = int(a), int(b)
+            if not (0 <= a < self._n and 0 <= b < self._n):
+                raise TaskGraphError(f"edge ({a},{b}) references unknown task")
+            if a == b:
+                raise TaskGraphError(f"self-edge at task {a} (intra-task bytes are free)")
+            w = float(w)
+            if w < 0:
+                raise TaskGraphError(f"edge ({a},{b}) has negative weight {w}")
+            key = (a, b) if a < b else (b, a)
+            acc[key] = acc.get(key, 0.0) + w
+
+        m = len(acc)
+        self._edge_u = np.empty(m, dtype=np.int64)
+        self._edge_v = np.empty(m, dtype=np.int64)
+        self._edge_w = np.empty(m, dtype=np.float64)
+        for i, ((a, b), w) in enumerate(sorted(acc.items())):
+            self._edge_u[i] = a
+            self._edge_v[i] = b
+            self._edge_w[i] = w
+        for arr in (self._edge_u, self._edge_v, self._edge_w):
+            arr.flags.writeable = False
+
+        # CSR adjacency (each undirected edge appears in both rows).
+        rows = np.concatenate([self._edge_u, self._edge_v])
+        cols = np.concatenate([self._edge_v, self._edge_u])
+        data = np.concatenate([self._edge_w, self._edge_w])
+        csr = sp.csr_matrix((data, (rows, cols)), shape=(self._n, self._n))
+        csr.sum_duplicates()
+        self._indptr = csr.indptr.astype(np.int64)
+        self._indices = csr.indices.astype(np.int64)
+        self._weights = csr.data.astype(np.float64)
+        for arr in (self._indptr, self._indices, self._weights):
+            arr.flags.writeable = False
+
+    # ----------------------------------------------------------------- sizes
+    @property
+    def num_tasks(self) -> int:
+        """Number of compute objects ``n = |Vt|``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected communication edges ``|Et|``."""
+        return len(self._edge_w)
+
+    def __len__(self) -> int:
+        return self._n
+
+    # --------------------------------------------------------------- weights
+    @property
+    def vertex_weights(self) -> np.ndarray:
+        """Per-task computation load (read-only view)."""
+        return self._vertex_weights
+
+    @property
+    def total_vertex_weight(self) -> float:
+        """Sum of all computation loads."""
+        return float(self._vertex_weights.sum())
+
+    @property
+    def total_bytes(self) -> float:
+        """Total communication volume over all undirected edges."""
+        return float(self._edge_w.sum())
+
+    # ----------------------------------------------------------------- edges
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Deduplicated undirected edges as ``(u, v, bytes)`` arrays, u < v."""
+        return self._edge_u, self._edge_v, self._edge_w
+
+    def edges(self) -> Iterable[tuple[int, int, float]]:
+        """Iterate over undirected edges ``(u, v, bytes)`` with ``u < v``."""
+        for a, b, w in zip(self._edge_u, self._edge_v, self._edge_w):
+            yield int(a), int(b), float(w)
+
+    def has_edge(self, a: int, b: int) -> bool:
+        """True if tasks ``a`` and ``b`` communicate directly."""
+        return b in set(self.neighbor_slice(a)[0].tolist())
+
+    # ------------------------------------------------------------- adjacency
+    def _check_task(self, task: int) -> int:
+        task = int(task)
+        if not 0 <= task < self._n:
+            raise TaskGraphError(f"task {task} out of range [0, {self._n})")
+        return task
+
+    def neighbor_slice(self, task: int) -> tuple[np.ndarray, np.ndarray]:
+        """(neighbor ids, edge bytes) contiguous views for ``task``."""
+        task = self._check_task(task)
+        lo, hi = self._indptr[task], self._indptr[task + 1]
+        return self._indices[lo:hi], self._weights[lo:hi]
+
+    def neighbors(self, task: int) -> list[int]:
+        """Neighbor task ids of ``task``."""
+        return [int(x) for x in self.neighbor_slice(task)[0]]
+
+    def degree(self, task: int) -> int:
+        """Number of communication partners of ``task``."""
+        task = self._check_task(task)
+        return int(self._indptr[task + 1] - self._indptr[task])
+
+    def degrees(self) -> np.ndarray:
+        """All task degrees as an int array."""
+        return np.diff(self._indptr)
+
+    def comm_volume(self, task: int) -> float:
+        """Total bytes ``task`` exchanges with all its partners."""
+        return float(self.neighbor_slice(task)[1].sum())
+
+    def comm_volumes(self) -> np.ndarray:
+        """Per-task total communication bytes (vectorized)."""
+        return np.add.reduceat(
+            np.append(self._weights, 0.0), self._indptr[:-1]
+        ) * (np.diff(self._indptr) > 0)
+
+    def adjacency_csr(self) -> sp.csr_matrix:
+        """Symmetric CSR byte-weight matrix (copy; safe to mutate)."""
+        return sp.csr_matrix(
+            (self._weights.copy(), self._indices.copy(), self._indptr.copy()),
+            shape=(self._n, self._n),
+        )
+
+    def csr_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Read-only ``(indptr, indices, weights)`` of the symmetric adjacency."""
+        return self._indptr, self._indices, self._weights
+
+    # ------------------------------------------------------------ conversion
+    def to_networkx(self):
+        """Export as a ``networkx.Graph`` with ``weight`` edge and node attrs."""
+        import networkx as nx
+
+        g = nx.Graph()
+        for t in range(self._n):
+            g.add_node(t, weight=float(self._vertex_weights[t]))
+        for a, b, w in self.edges():
+            g.add_edge(a, b, weight=w)
+        return g
+
+    @classmethod
+    def from_networkx(cls, graph) -> "TaskGraph":
+        """Build from a ``networkx.Graph`` with nodes ``0..n-1``.
+
+        Edge attribute ``weight`` defaults to 1 byte; node attribute
+        ``weight`` defaults to 1.0 load.
+        """
+        nodes = sorted(graph.nodes())
+        if nodes != list(range(len(nodes))):
+            raise TaskGraphError("networkx graph nodes must be exactly 0..n-1")
+        vw = [float(graph.nodes[t].get("weight", 1.0)) for t in nodes]
+        edges = [
+            (a, b, float(data.get("weight", 1.0)))
+            for a, b, data in graph.edges(data=True)
+        ]
+        return cls(len(nodes), edges, vw)
+
+    def induced(self, tasks: Sequence[int]) -> "TaskGraph":
+        """Induced subgraph on ``tasks``, relabeled to local ids ``0..k-1``.
+
+        Edges with exactly one endpoint inside are dropped (their bytes
+        leave the subproblem — callers tracking cross-traffic should account
+        for it separately). Duplicate task ids are rejected.
+        """
+        ids = [self._check_task(t) for t in tasks]
+        if len(set(ids)) != len(ids):
+            raise TaskGraphError("induced() requires distinct task ids")
+        local = {t: i for i, t in enumerate(ids)}
+        edges = []
+        for a, b, w in zip(self._edge_u.tolist(), self._edge_v.tolist(),
+                           self._edge_w.tolist()):
+            ia, ib = local.get(a), local.get(b)
+            if ia is not None and ib is not None:
+                edges.append((ia, ib, w))
+        return TaskGraph(len(ids), edges, self._vertex_weights[np.asarray(ids)])
+
+    def relabel(self, permutation: Sequence[int]) -> "TaskGraph":
+        """Return a copy with task ``t`` renamed to ``permutation[t]``."""
+        perm = np.asarray(permutation, dtype=np.int64)
+        if sorted(perm.tolist()) != list(range(self._n)):
+            raise TaskGraphError("relabel requires a permutation of 0..n-1")
+        new_vw = np.empty_like(self._vertex_weights)
+        new_vw[perm] = self._vertex_weights
+        edges = [
+            (int(perm[a]), int(perm[b]), float(w))
+            for a, b, w in zip(self._edge_u, self._edge_v, self._edge_w)
+        ]
+        return TaskGraph(self._n, edges, new_vw)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<TaskGraph n={self._n} edges={self.num_edges} bytes={self.total_bytes:g}>"

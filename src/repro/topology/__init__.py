@@ -1,0 +1,31 @@
+"""Machine topology models (processor graphs).
+
+The paper represents the machine as an undirected *topology graph*
+``Gp = (Vp, Ep)`` whose vertices are processors and whose edges are direct
+network links. The mapping algorithms only require shortest-path distances
+``d_p(p1, p2)``; the network simulator additionally requires explicit links
+and deterministic routes. Grid topologies (mesh/torus) provide closed-form
+vectorized distances so no all-pairs-shortest-path computation is needed.
+"""
+
+from repro.topology.base import Topology
+from repro.topology.mesh import Mesh
+from repro.topology.torus import Torus
+from repro.topology.hypercube import Hypercube
+from repro.topology.fattree import FatTree
+from repro.topology.graph import ArbitraryTopology
+from repro.topology.subset import SubTopology
+from repro.topology.matrix import MatrixTopology
+from repro.topology.factory import topology_from_spec
+
+__all__ = [
+    "Topology",
+    "Mesh",
+    "Torus",
+    "Hypercube",
+    "FatTree",
+    "ArbitraryTopology",
+    "SubTopology",
+    "MatrixTopology",
+    "topology_from_spec",
+]

@@ -1,0 +1,102 @@
+"""Fat-tree topology (metric-only, indirect network).
+
+The paper's introduction argues contention is a minor factor on fat-trees —
+their ``P log P`` wiring keeps processor-to-processor distances nearly
+uniform — and a major factor on tori/meshes. This class exists to let the
+benchmarks demonstrate that contrast: on a fat-tree the gap between a random
+mapping and TopoLB nearly vanishes (see ``benchmarks/test_ablation_topologies``).
+
+A fat-tree is an *indirect* network: processors hang off leaf switches, and
+messages climb to the lowest common ancestor switch and descend. We model the
+processor-level metric directly: with switch arity ``a`` and ``L`` levels the
+processors are ``0..a**L - 1`` and
+
+    d(x, y) = 2 * (smallest l such that x // a**l == y // a**l)
+
+i.e. two switch hops per level climbed. Because links are switch-to-switch,
+:meth:`route` (processor-level hops) is undefined and raises — the network
+simulator only supports direct networks (mesh/torus/hypercube/arbitrary).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.topology.base import Topology
+
+__all__ = ["FatTree"]
+
+
+class FatTree(Topology):
+    """An ``arity``-ary fat-tree with ``levels`` switch levels (metric only)."""
+
+    def __init__(self, arity: int, levels: int):
+        if arity < 2:
+            raise TopologyError(f"fat-tree arity must be >= 2, got {arity}")
+        if levels < 1:
+            raise TopologyError(f"fat-tree needs >= 1 level, got {levels}")
+        self._arity = int(arity)
+        self._levels = int(levels)
+        num = self._arity**self._levels
+        if num > 1 << 20:
+            raise TopologyError(f"fat-tree of {num} processors is too large")
+        super().__init__(num)
+
+    @property
+    def arity(self) -> int:
+        """Ports per switch going down one level."""
+        return self._arity
+
+    @property
+    def levels(self) -> int:
+        """Number of switch levels between a processor and the root."""
+        return self._levels
+
+    @property
+    def name(self) -> str:
+        return f"fattree(arity={self._arity},levels={self._levels})"
+
+    def distance_row(self, node: int) -> np.ndarray:
+        node = self._check_node(node)
+        ids = np.arange(self._num_nodes, dtype=np.int64)
+        dist = np.zeros(self._num_nodes, dtype=np.int32)
+        # Level of the lowest common ancestor: first l where the a**l-blocks match.
+        unresolved = ids != node
+        for level in range(1, self._levels + 1):
+            block = self._arity**level
+            same_block = (ids // block) == (node // block)
+            newly = unresolved & same_block
+            dist[newly] = 2 * level
+            unresolved &= ~same_block
+        return dist
+
+    def neighbors(self, node: int) -> list[int]:
+        """Processors under the same leaf switch (minimum positive distance, 2 hops)."""
+        node = self._check_node(node)
+        base = (node // self._arity) * self._arity
+        return [base + i for i in range(self._arity) if base + i != node]
+
+    def route(self, src: int, dst: int) -> list[int]:
+        raise TopologyError(
+            "fat-tree is an indirect network: processor-level routes are undefined; "
+            "use a direct topology (Mesh/Torus/Hypercube/ArbitraryTopology) with the "
+            "network simulator"
+        )
+
+    def links(self):
+        raise TopologyError("fat-tree links are switch-level; not exposed")
+
+    def diameter(self) -> int:
+        return 2 * self._levels if self._num_nodes > 1 else 0
+
+    def expected_random_distance(self) -> float:
+        """E[d] for uniform random processor pairs (including x == y pairs)."""
+        # P(LCA at level l) for l>=1: blocks of size a**l match but a**(l-1) don't.
+        a, total = self._arity, 0.0
+        p = float(self._num_nodes)
+        for level in range(1, self._levels + 1):
+            same_l = (a**level) / p if a**level <= p else 1.0
+            same_lm1 = (a ** (level - 1)) / p
+            total += 2 * level * max(same_l - same_lm1, 0.0)
+        return total

@@ -1,0 +1,149 @@
+"""Shared machinery for k-ary n-dimensional grid topologies (mesh & torus).
+
+Node ids are the C-order raveling of n-dimensional coordinates, matching
+``numpy.ravel_multi_index``. Distances are computed in closed form from the
+coordinate arrays — vectorized per the hop-distance formulas:
+
+* mesh:  ``d = sum_k |a_k - b_k|``
+* torus: ``d = sum_k min(|a_k - b_k|, s_k - |a_k - b_k|)``
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.topology.base import Topology
+from repro.utils.validation import check_shape_volume
+
+__all__ = ["GridTopology"]
+
+
+class GridTopology(Topology):
+    """Base class for :class:`~repro.topology.Mesh` and :class:`~repro.topology.Torus`."""
+
+    #: Whether each dimension has a wrap-around link (overridden by Torus).
+    wraparound: bool = False
+
+    def __init__(self, shape: Sequence[int]):
+        volume = check_shape_volume(shape, TopologyError)
+        super().__init__(volume)
+        self._shape = tuple(int(s) for s in shape)
+        # coordinate table: _coords[node] = n-dim coordinates (C order)
+        self._coords = np.stack(
+            np.unravel_index(np.arange(volume), self._shape), axis=1
+        ).astype(np.int32)
+
+    # ------------------------------------------------------------------ shape
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Grid extents, e.g. ``(8, 8, 8)``."""
+        return self._shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of grid dimensions."""
+        return len(self._shape)
+
+    def coords(self, node: int) -> tuple[int, ...]:
+        node = self._check_node(node)
+        return tuple(int(c) for c in self._coords[node])
+
+    def index(self, coords: Sequence[int]) -> int:
+        if len(coords) != self.ndim:
+            raise TopologyError(
+                f"{self.name} expects {self.ndim}-D coordinates, got {coords!r}"
+            )
+        for c, s in zip(coords, self._shape):
+            if not 0 <= c < s:
+                raise TopologyError(f"coordinate {coords!r} outside shape {self._shape}")
+        return int(np.ravel_multi_index(tuple(int(c) for c in coords), self._shape))
+
+    def coords_array(self) -> np.ndarray:
+        """Read-only ``(p, ndim)`` coordinate table for vectorized callers."""
+        view = self._coords.view()
+        view.flags.writeable = False
+        return view
+
+    # -------------------------------------------------------------- distances
+    def _axis_deltas(self, node: int) -> np.ndarray:
+        """|a_k - b_k| per axis from ``node`` to every node, shape (p, ndim)."""
+        return np.abs(self._coords - self._coords[self._check_node(node)])
+
+    def distance_row(self, node: int) -> np.ndarray:
+        delta = self._axis_deltas(node)
+        if self.wraparound:
+            shape = np.asarray(self._shape, dtype=np.int32)
+            delta = np.minimum(delta, shape - delta)
+        return delta.sum(axis=1, dtype=np.int32)
+
+    def diameter(self) -> int:
+        # Closed form: sum over axes of the per-axis maximum displacement.
+        if self.wraparound:
+            return int(sum(s // 2 for s in self._shape))
+        return int(sum(s - 1 for s in self._shape))
+
+    # ------------------------------------------------------------ connectivity
+    def _axis_neighbor(self, node: int, axis: int, step: int) -> int | None:
+        """Neighbor of ``node`` one hop along ``axis`` (None if off the edge)."""
+        coords = list(self._coords[node])
+        extent = self._shape[axis]
+        nxt = coords[axis] + step
+        if self.wraparound:
+            # A 1- or 2-extent axis has no distinct wrap neighbor.
+            if extent <= 1:
+                return None
+            nxt %= extent
+            if nxt == coords[axis]:
+                return None
+        elif not 0 <= nxt < extent:
+            return None
+        coords[axis] = nxt
+        return int(np.ravel_multi_index(tuple(coords), self._shape))
+
+    def neighbors(self, node: int) -> list[int]:
+        node = self._check_node(node)
+        out: list[int] = []
+        for axis in range(self.ndim):
+            for step in (-1, +1):
+                nbr = self._axis_neighbor(node, axis, step)
+                if nbr is not None and nbr != node and nbr not in out:
+                    out.append(nbr)
+        return out
+
+    # ---------------------------------------------------------------- routing
+    def route(self, src: int, dst: int) -> list[int]:
+        """Dimension-ordered (e-cube) minimal routing.
+
+        Corrects one axis at a time, in axis order — the deterministic
+        routing used by BlueGene/L-style tori. On a torus each axis moves in
+        the direction of the shorter way around (ties go in the +1
+        direction), on a mesh simply toward the destination.
+        """
+        return self.route_axis_order(src, dst, range(self.ndim))
+
+    def route_axis_order(self, src: int, dst: int, axis_order) -> list[int]:
+        """Minimal route correcting axes in the given order.
+
+        Every permutation of axes yields a (different) minimal path; the
+        adaptive-routing mode of the network simulator picks among them at
+        injection time.
+        """
+        src = self._check_node(src)
+        dst = self._check_node(dst)
+        path = [src]
+        coords = list(self._coords[src])
+        target = self._coords[dst]
+        for axis in axis_order:
+            extent = self._shape[axis]
+            while coords[axis] != target[axis]:
+                forward = (target[axis] - coords[axis]) % extent
+                if self.wraparound:
+                    step = 1 if forward <= extent - forward else -1
+                else:
+                    step = 1 if target[axis] > coords[axis] else -1
+                coords[axis] = (coords[axis] + step) % extent if self.wraparound else coords[axis] + step
+                path.append(int(np.ravel_multi_index(tuple(coords), self._shape)))
+        return path

@@ -1,0 +1,36 @@
+"""k-ary n-dimensional mesh topology (no wrap-around links)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.topology.grid import GridTopology
+
+__all__ = ["Mesh"]
+
+
+class Mesh(GridTopology):
+    """An n-dimensional mesh, e.g. ``Mesh((8, 8, 8))`` for BlueGene 3D-mesh mode.
+
+    Hop distance is the Manhattan (L1) distance between node coordinates.
+    The paper's Table 1 and Figure 11 run on 3D meshes; every other grid
+    experiment uses the :class:`~repro.topology.Torus` sibling.
+    """
+
+    wraparound = False
+
+    def __init__(self, shape: Sequence[int]):
+        super().__init__(shape)
+
+    @property
+    def name(self) -> str:
+        return "mesh(" + "x".join(str(s) for s in self.shape) + ")"
+
+    def expected_random_distance(self) -> float:
+        """Closed-form E[d(a, b)] for uniformly random nodes a, b.
+
+        On one axis of extent s the mean |a-b| over all ordered pairs is
+        ``(s^2 - 1) / (3 s)``; axes are independent so expectations add.
+        Used to validate the random-mapping baselines in Figures 1 and 3.
+        """
+        return float(sum((s * s - 1.0) / (3.0 * s) for s in self.shape))

@@ -1,0 +1,22 @@
+"""Shared low-level utilities: heaps, union-find, RNG, validation."""
+
+from repro.utils.priority_queue import AddressableMaxHeap, AddressableMinHeap
+from repro.utils.union_find import UnionFind
+from repro.utils.rng import as_rng
+from repro.utils.validation import (
+    check_nonnegative,
+    check_positive,
+    check_permutation,
+    check_shape_volume,
+)
+
+__all__ = [
+    "AddressableMaxHeap",
+    "AddressableMinHeap",
+    "UnionFind",
+    "as_rng",
+    "check_nonnegative",
+    "check_positive",
+    "check_permutation",
+    "check_shape_volume",
+]

@@ -1,0 +1,148 @@
+"""Addressable binary heaps with decrease/increase-key.
+
+TopoCentLB selects, every cycle, the unplaced task with maximum total
+communication to the placed set and bumps the keys of its neighbors — exactly
+the extract-max / increase-key workload of an addressable heap (the paper's
+stated ``O(log p)`` operations). The FM refinement pass in the partitioner
+uses the same structure for gain buckets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+__all__ = ["AddressableMinHeap", "AddressableMaxHeap"]
+
+
+class AddressableMinHeap:
+    """Binary min-heap over integer items with O(log n) update-key.
+
+    Items are arbitrary hashable objects; each item may appear at most once.
+    """
+
+    def __init__(self, items: Iterable[tuple[object, float]] = ()):
+        self._heap: list[object] = []
+        self._keys: dict[object, float] = {}
+        self._pos: dict[object, int] = {}
+        for item, key in items:
+            self._keys[item] = key
+            self._pos[item] = len(self._heap)
+            self._heap.append(item)
+        # Floyd heapify: sift down from the last internal node.
+        for i in range(len(self._heap) // 2 - 1, -1, -1):
+            self._sift_down(i)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._pos
+
+    def key(self, item: object) -> float:
+        """Current key of ``item`` (KeyError if absent)."""
+        return self._keys[item]
+
+    def _less(self, a: object, b: object) -> bool:
+        ka, kb = self._keys[a], self._keys[b]
+        if ka != kb:
+            return ka < kb
+        # Deterministic tie-break: smaller item wins (when comparable).
+        try:
+            return a < b  # type: ignore[operator]
+        except TypeError:
+            return False
+
+    def _swap(self, i: int, j: int) -> None:
+        h = self._heap
+        h[i], h[j] = h[j], h[i]
+        self._pos[h[i]] = i
+        self._pos[h[j]] = j
+
+    def _sift_up(self, i: int) -> None:
+        h = self._heap
+        while i > 0:
+            parent = (i - 1) // 2
+            if self._less(h[i], h[parent]):
+                self._swap(i, parent)
+                i = parent
+            else:
+                return
+
+    def _sift_down(self, i: int) -> None:
+        h = self._heap
+        n = len(h)
+        while True:
+            left, right = 2 * i + 1, 2 * i + 2
+            smallest = i
+            if left < n and self._less(h[left], h[smallest]):
+                smallest = left
+            if right < n and self._less(h[right], h[smallest]):
+                smallest = right
+            if smallest == i:
+                return
+            self._swap(i, smallest)
+            i = smallest
+
+    def push(self, item: object, key: float) -> None:
+        """Insert ``item`` with ``key``; raises ValueError if already present."""
+        if item in self._pos:
+            raise ValueError(f"item {item!r} already in heap")
+        self._keys[item] = key
+        self._pos[item] = len(self._heap)
+        self._heap.append(item)
+        self._sift_up(len(self._heap) - 1)
+
+    def update(self, item: object, key: float) -> None:
+        """Change ``item``'s key to ``key`` (any direction)."""
+        self._keys[item] = key
+        # Try both directions; at most one moves the item. Using the
+        # subclass's comparison keeps this correct for the max-heap variant.
+        self._sift_up(self._pos[item])
+        self._sift_down(self._pos[item])
+
+    def peek(self) -> tuple[object, float]:
+        """Return (item, key) with minimum key without removing it."""
+        if not self._heap:
+            raise IndexError("peek from empty heap")
+        item = self._heap[0]
+        return item, self._keys[item]
+
+    def pop(self) -> tuple[object, float]:
+        """Remove and return (item, key) with minimum key."""
+        if not self._heap:
+            raise IndexError("pop from empty heap")
+        top = self._heap[0]
+        key = self._keys.pop(top)
+        last = self._heap.pop()
+        del self._pos[top]
+        if self._heap:
+            self._heap[0] = last
+            self._pos[last] = 0
+            self._sift_down(0)
+        return top, key
+
+    def remove(self, item: object) -> float:
+        """Remove ``item`` wherever it sits; return its key."""
+        i = self._pos.pop(item)
+        key = self._keys.pop(item)
+        last = self._heap.pop()
+        if i < len(self._heap):
+            self._heap[i] = last
+            self._pos[last] = i
+            # Restore the invariant in whichever direction is needed.
+            self._sift_down(i)
+            self._sift_up(self._pos[last])
+        return key
+
+
+class AddressableMaxHeap(AddressableMinHeap):
+    """Max-heap variant: ``pop`` returns the item with the *largest* key."""
+
+    def _less(self, a: object, b: object) -> bool:  # invert the key comparison
+        ka, kb = self._keys[a], self._keys[b]
+        if ka != kb:
+            return ka > kb
+        try:
+            return a < b  # ties still pop smallest item first
+        except TypeError:
+            return False

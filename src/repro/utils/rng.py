@@ -1,0 +1,23 @@
+"""Seeded random-number-generator helpers.
+
+All stochastic code in the library threads an explicit generator so every
+experiment is reproducible from a single integer seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_rng"]
+
+
+def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts an existing generator (returned unchanged), an integer seed, or
+    ``None`` (fresh OS-entropy generator). Using one coercion point keeps the
+    seeding policy uniform across the package.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

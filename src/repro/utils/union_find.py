@@ -1,0 +1,60 @@
+"""Disjoint-set (union-find) with path compression and union by size.
+
+Used by the coarsening phase of the multilevel partitioner and by topology
+connectivity checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Array-backed disjoint-set forest over the integers ``0..n-1``."""
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self._parent = np.arange(n, dtype=np.int64)
+        self._size = np.ones(n, dtype=np.int64)
+        self._count = n
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    @property
+    def num_components(self) -> int:
+        """Number of disjoint components currently tracked."""
+        return self._count
+
+    def find(self, x: int) -> int:
+        """Return the representative of ``x``'s component (path compressed)."""
+        parent = self._parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return int(root)
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the components of ``a`` and ``b``; return True if they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self._count -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        """True when ``a`` and ``b`` share a component."""
+        return self.find(a) == self.find(b)
+
+    def component_size(self, x: int) -> int:
+        """Number of elements in ``x``'s component."""
+        return int(self._size[self.find(x)])

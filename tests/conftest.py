@@ -1,0 +1,38 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Mesh, TaskGraph, Torus, mesh2d_pattern
+
+
+@pytest.fixture
+def torus8x8() -> Torus:
+    return Torus((8, 8))
+
+
+@pytest.fixture
+def mesh4cube() -> Mesh:
+    return Mesh((4, 4, 4))
+
+
+@pytest.fixture
+def pattern8x8() -> TaskGraph:
+    return mesh2d_pattern(8, 8, message_bytes=1024)
+
+
+@pytest.fixture
+def tiny_graph() -> TaskGraph:
+    """4 tasks in a weighted path 0-1-2-3 plus a heavy 0-3 chord."""
+    return TaskGraph(
+        4,
+        [(0, 1, 10.0), (1, 2, 20.0), (2, 3, 30.0), (0, 3, 100.0)],
+        vertex_weights=[1.0, 2.0, 3.0, 4.0],
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

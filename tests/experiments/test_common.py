@@ -1,0 +1,63 @@
+"""Tests for experiment plumbing (result container, formatting, factors)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.common import ExperimentResult, format_table, near_square_factors
+
+
+class TestNearSquareFactors:
+    def test_perfect_square(self):
+        assert near_square_factors(64) == (8, 8)
+
+    def test_rectangles(self):
+        assert near_square_factors(216) == (12, 18)
+        assert near_square_factors(512) == (16, 32)
+        assert near_square_factors(1000) == (25, 40)
+
+    def test_prime(self):
+        assert near_square_factors(13) == (1, 13)
+
+    def test_ordering(self):
+        for p in (6, 12, 30, 100):
+            a, b = near_square_factors(p)
+            assert a <= b and a * b == p
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_alignment_and_headers(self):
+        rows = [{"a": 1, "b": 2.34567}, {"a": 100, "b": 0.5}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "2.346" in text  # 4 significant figures
+        assert "100" in text
+
+    def test_column_subset(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        assert "b" not in text.splitlines()[0]
+
+
+class TestExperimentResult:
+    def make(self):
+        return ExperimentResult(
+            "t", "title", [{"x": 1, "y": 2.0}, {"x": 3, "y": 4.0}], notes="n"
+        )
+
+    def test_to_text(self):
+        text = self.make().to_text()
+        assert "== t: title ==" in text
+        assert text.endswith("n")
+
+    def test_to_json_roundtrip(self):
+        data = json.loads(self.make().to_json())
+        assert data["experiment_id"] == "t"
+        assert data["rows"][1]["x"] == 3
+
+    def test_column(self):
+        assert self.make().column("y") == [2.0, 4.0]

@@ -1,0 +1,48 @@
+"""Tests for the experiments CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import runner
+
+
+class TestRunnerCli:
+    def test_lists_all_experiments(self):
+        assert set(runner.PAPER_EXPERIMENTS) == {
+            "table1", "fig1_2", "fig3_4", "fig5", "fig6",
+            "fig7_8", "fig9", "fig10_11",
+        }
+        assert set(runner.EXPERIMENTS) == set(runner.PAPER_EXPERIMENTS) | {
+            "zoo", "bounds", "objectives", "scaling",
+        }
+
+    def test_runs_one_experiment(self, capsys, monkeypatch):
+        from repro.experiments import fig01_02
+
+        monkeypatch.setattr(fig01_02, "QUICK_SIDES", (4,))
+        assert runner.main(["fig1_2"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1_2" in out
+        assert "topolb" in out
+
+    def test_json_output(self, capsys, monkeypatch):
+        from repro.experiments import fig01_02
+
+        monkeypatch.setattr(fig01_02, "QUICK_SIDES", (4,))
+        runner.main(["fig1_2", "--json"])
+        out = capsys.readouterr().out.strip()
+        data = json.loads(out)
+        assert data["experiment_id"] == "fig1_2"
+
+    def test_bad_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            runner.main(["fig99"])
+
+    def test_seed_flag(self, capsys, monkeypatch):
+        from repro.experiments import fig01_02
+
+        monkeypatch.setattr(fig01_02, "QUICK_SIDES", (4,))
+        assert runner.main(["fig1_2", "--seed", "7"]) == 0

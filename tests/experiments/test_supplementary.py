@@ -1,0 +1,90 @@
+"""Tests for the supplementary experiments (zoo, bounds)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import supplementary
+
+
+class TestZoo:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return supplementary.run_zoo(quick=True, seed=0)
+
+    def test_all_machines_present(self, result):
+        machines = result.column("machine")
+        assert len(machines) == 5
+
+    def test_topolb_never_loses_to_random(self, result):
+        for row in result.rows:
+            assert row["topolb"] < row["random"]
+
+    def test_refine_never_hurts(self, result):
+        for row in result.rows:
+            assert row["topolb+ref"] <= row["topolb"] + 1e-9
+
+    def test_fattree_compresses_gains(self, result):
+        rows = {r["machine"]: r for r in result.rows}
+        torus_gain = rows["torus 8x8"]["random"] / rows["torus 8x8"]["topolb"]
+        ft_gain = rows["fattree 4x3"]["random"] / rows["fattree 4x3"]["topolb"]
+        assert torus_gain > 2 * ft_gain
+
+    def test_annealing_beats_heuristics_on_mesh(self, result):
+        """The related-work claim: physical optimization out-polishes greedy
+        heuristics on instances without a perfect embedding."""
+        row = next(r for r in result.rows if r["machine"] == "mesh 8x8")
+        assert row["anneal"] < row["topolb"]
+
+
+class TestObjectives:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return supplementary.run_objectives(quick=True, seed=0)
+
+    def test_each_optimizer_wins_its_metric(self, result):
+        for row in result.rows:
+            assert row["bokhari_card"] >= row["random_card"]
+            assert row["topolb_hpb"] <= row["random_hpb"]
+
+    def test_hop_bytes_wins_on_skewed(self, result):
+        row = next(r for r in result.rows if "skewed" in r["instance"])
+        assert row["topolb_hpb"] < row["bokhari_hpb"]
+
+
+class TestScaling:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return supplementary.run_scaling(quick=True, seed=0)
+
+    def test_rows_and_quality(self, result):
+        assert [r["processors"] for r in result.rows] == [64, 256, 576]
+        for row in result.rows:
+            assert row["topolb_o2_hpb"] == pytest.approx(1.0)
+            assert row["refine_hpb"] <= row["topolb_o2_hpb"] + 1e-9
+
+    def test_times_grow_with_p(self, result):
+        times = result.column("topolb_o2_s")
+        assert times[-1] > times[0]
+
+
+class TestBounds:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return supplementary.run_bounds(quick=True, seed=0)
+
+    def test_torus_stencils_certified_optimal(self, result):
+        for row in result.rows:
+            if "torus" in row["instance"] and "jacobi" in row["instance"]:
+                assert row["topolb_gap"] == pytest.approx(1.0)
+
+    def test_gaps_at_least_one(self, result):
+        for row in result.rows:
+            for key, value in row.items():
+                if key.endswith("_gap"):
+                    assert value >= 1.0 - 1e-9
+
+    def test_ordering(self, result):
+        for row in result.rows:
+            assert row["topolb_gap"] <= row["random_gap"]
+            assert row["topolb+ref_gap"] <= row["topolb_gap"] + 1e-9

@@ -1,0 +1,78 @@
+"""Tests for the hop-byte lower bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapping import (
+    IdentityMapper,
+    RandomMapper,
+    TopoLB,
+    hop_bytes_lower_bound,
+    optimality_gap,
+)
+from repro.taskgraph import TaskGraph, mesh2d_pattern, random_taskgraph
+from repro.topology import Mesh, Torus
+
+
+class TestLowerBound:
+    def test_stencil_bound_is_tight(self):
+        """4-neighbor pattern on a degree-4 torus: bound == total bytes, and
+        the identity mapping attains it — optimality certified."""
+        topo = Torus((6, 6))
+        g = mesh2d_pattern(6, 6)
+        bound = hop_bytes_lower_bound(g, topo)
+        assert bound == pytest.approx(g.total_bytes)
+        mapping = IdentityMapper().map(g, topo)
+        assert optimality_gap(mapping) == pytest.approx(1.0)
+
+    def test_topolb_certified_optimal(self):
+        topo = Torus((8, 8))
+        g = mesh2d_pattern(8, 8)
+        assert optimality_gap(TopoLB().map(g, topo)) == pytest.approx(1.0)
+
+    def test_bound_exceeds_total_bytes_for_high_degree(self):
+        """A task with more partners than machine degree must reach past
+        distance 1, so the bound strictly exceeds total bytes."""
+        g = TaskGraph(9, [(0, j, 10.0) for j in range(1, 9)])
+        topo = Torus((3, 3))  # degree 4 < 8 partners
+        assert hop_bytes_lower_bound(g, topo) > g.total_bytes
+
+    def test_heavy_edges_matched_to_short_distances(self):
+        # Star with one giant edge: the bound must charge the giant edge
+        # distance 1, not the average.
+        g = TaskGraph(9, [(0, 1, 1e6)] + [(0, j, 1.0) for j in range(2, 9)])
+        topo = Torus((3, 3))
+        bound = hop_bytes_lower_bound(g, topo)
+        assert bound < 1.1e6  # ~1e6*1 + small change, NOT 2e6
+
+    def test_edgeless(self):
+        g = TaskGraph(4)
+        assert hop_bytes_lower_bound(g, Mesh((2, 2))) == 0.0
+
+    def test_size_mismatch_returns_trivial(self):
+        g = mesh2d_pattern(2, 2)
+        assert hop_bytes_lower_bound(g, Mesh((3, 3))) == 0.0
+
+    def test_gap_of_random_large(self):
+        topo = Torus((8, 8))
+        g = mesh2d_pattern(8, 8)
+        gap = optimality_gap(RandomMapper(seed=0).map(g, topo))
+        assert gap > 3.0
+
+
+@given(st.integers(0, 5_000))
+@settings(max_examples=30, deadline=None)
+def test_property_bound_below_every_bijection(seed):
+    """Soundness: the bound never exceeds an actual bijective mapping's HB."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(4, 16))
+    g = random_taskgraph(n, edge_prob=0.4, seed=seed)
+    topo = Torus((n,)) if seed % 2 else Mesh((n,))
+    bound = hop_bytes_lower_bound(g, topo)
+    for s in range(3):
+        mapping = RandomMapper(seed=seed + s).map(g, topo)
+        assert bound <= mapping.hop_bytes + 1e-9

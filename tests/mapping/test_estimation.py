@@ -1,0 +1,63 @@
+"""Tests for the estimation-function helpers and TopoLB internals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mapping.estimation import EstimatorOrder, average_distance_vector
+from repro.topology import Mesh, Torus
+
+
+class TestAverageDistanceVector:
+    def test_full_set_is_row_means(self):
+        topo = Mesh((3, 3))
+        avg = average_distance_vector(topo)
+        mat = topo.distance_matrix()
+        assert avg == pytest.approx(mat.mean(axis=1))
+
+    def test_torus_uniform(self):
+        """Vertex-transitive machine: every processor has the same average."""
+        avg = average_distance_vector(Torus((4, 4)))
+        assert np.allclose(avg, avg[0])
+
+    def test_mesh_center_smaller_than_corner(self):
+        topo = Mesh((5, 5))
+        avg = average_distance_vector(topo)
+        center = topo.index((2, 2))
+        corner = topo.index((0, 0))
+        assert avg[center] < avg[corner]
+
+    def test_subset_restriction(self):
+        topo = Mesh((4,))
+        mask = np.array([True, False, False, True])
+        avg = average_distance_vector(topo, mask)
+        # node 0: mean(d(0,0), d(0,3)) = 1.5 ; node 1: mean(1, 2) = 1.5
+        assert avg[0] == pytest.approx(1.5)
+        assert avg[2] == pytest.approx(1.5)
+
+    def test_empty_subset(self):
+        topo = Mesh((3,))
+        avg = average_distance_vector(topo, np.zeros(3, dtype=bool))
+        assert (avg == 0).all()
+
+    def test_third_order_shrinks_with_subset(self):
+        """Removing far processors lowers the expected distance."""
+        topo = Mesh((6,))
+        full = average_distance_vector(topo)
+        near = average_distance_vector(
+            topo, np.array([True, True, True, False, False, False])
+        )
+        assert near[0] < full[0]
+
+
+class TestEstimatorOrder:
+    def test_values(self):
+        assert EstimatorOrder.FIRST == 1
+        assert EstimatorOrder.SECOND == 2
+        assert EstimatorOrder.THIRD == 3
+
+    def test_coercion(self):
+        assert EstimatorOrder(2) is EstimatorOrder.SECOND
+        with pytest.raises(ValueError):
+            EstimatorOrder(4)

@@ -1,0 +1,138 @@
+"""Tests for the genetic and Bokhari mappers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MappingError
+from repro.mapping import (
+    BokhariMapper,
+    GeneticMapper,
+    RandomMapper,
+    TopoLB,
+    cardinality,
+    expected_random_hops_per_byte,
+)
+from repro.mapping.evolutionary import GeneticMapper as GM
+from repro.taskgraph import TaskGraph, mesh2d_pattern, random_taskgraph
+from repro.topology import Mesh, Torus
+
+
+class TestGeneticMapper:
+    def test_bijection_and_quality(self):
+        topo = Torus((4, 4))
+        g = mesh2d_pattern(4, 4)
+        mapping = GeneticMapper(seed=0).map(g, topo)
+        assert mapping.is_bijection()
+        assert mapping.hops_per_byte < expected_random_hops_per_byte(topo)
+
+    def test_deterministic(self):
+        topo = Torus((4, 4))
+        g = random_taskgraph(16, edge_prob=0.3, seed=1)
+        a = GeneticMapper(seed=9).map(g, topo).assignment
+        b = GeneticMapper(seed=9).map(g, topo).assignment
+        assert (a == b).all()
+
+    def test_more_generations_no_worse(self):
+        topo = Torus((4, 4))
+        g = random_taskgraph(16, edge_prob=0.4, seed=2)
+        short = GeneticMapper(generations=5, seed=0).map(g, topo)
+        long = GeneticMapper(generations=80, seed=0).map(g, topo)
+        assert long.hop_bytes <= short.hop_bytes * 1.05
+
+    def test_seeded_population_keeps_heuristic_quality(self):
+        """Orduña-style seeding: GA never loses the seed's quality (elitism)."""
+        topo = Torus((6, 6))
+        g = mesh2d_pattern(6, 6)
+        seed_hb = TopoLB().map(g, topo).hop_bytes
+        ga = GeneticMapper(seed=0, seed_mapper=TopoLB(), generations=20).map(g, topo)
+        assert ga.hop_bytes <= seed_hb + 1e-9
+
+    def test_seeded_beats_unseeded_at_equal_budget(self):
+        topo = Torus((6, 6))
+        g = mesh2d_pattern(6, 6)
+        unseeded = GeneticMapper(seed=0, generations=30).map(g, topo)
+        seeded = GeneticMapper(seed=0, seed_mapper=TopoLB(), generations=30).map(g, topo)
+        assert seeded.hop_bytes <= unseeded.hop_bytes
+
+    def test_pmx_produces_permutations(self, rng):
+        for _ in range(50):
+            a, b = rng.permutation(12), rng.permutation(12)
+            child = GM._pmx(a, b, rng)
+            assert sorted(child.tolist()) == list(range(12))
+
+    def test_validation(self):
+        with pytest.raises(MappingError):
+            GeneticMapper(population=2)
+        with pytest.raises(MappingError):
+            GeneticMapper(generations=0)
+        with pytest.raises(MappingError):
+            GeneticMapper(elite=40, population=40)
+        with pytest.raises(MappingError):
+            GeneticMapper(tournament=0)
+
+
+class TestBokhariMapper:
+    def test_bijection(self):
+        topo = Mesh((4, 4))
+        g = random_taskgraph(16, edge_prob=0.3, seed=0)
+        mapping = BokhariMapper(seed=0).map(g, topo)
+        assert mapping.is_bijection()
+
+    def test_cardinality_improves_over_random(self):
+        topo = Torus((6, 6))
+        g = mesh2d_pattern(6, 6)
+        rand_card = cardinality(RandomMapper(seed=0).map(g, topo))
+        bok_card = cardinality(BokhariMapper(seed=0).map(g, topo))
+        assert bok_card > rand_card
+
+    def test_deterministic(self):
+        topo = Torus((4, 4))
+        g = random_taskgraph(16, edge_prob=0.3, seed=3)
+        a = BokhariMapper(seed=5).map(g, topo).assignment
+        b = BokhariMapper(seed=5).map(g, topo).assignment
+        assert (a == b).all()
+
+    def test_cardinality_blind_to_weights(self):
+        """The historical weakness: cardinality ignores byte volumes, so a
+        Bokhari-optimal mapping can be much worse in hop-bytes than TopoLB
+        on weight-skewed instances."""
+        rng = np.random.default_rng(0)
+        # A cycle with one overwhelmingly heavy edge.
+        n = 12
+        edges = [(i, (i + 1) % n, 1.0) for i in range(n)]
+        edges.append((0, 6, 1e6))
+        g = TaskGraph(n, edges)
+        topo = Torus((n,))
+        tlb = TopoLB().map(g, topo)
+        # TopoLB puts the heavy pair adjacent.
+        assert topo.distance(tlb.processor_of(0), tlb.processor_of(6)) == 1
+
+    def test_validation(self):
+        with pytest.raises(MappingError):
+            BokhariMapper(jumps=-1)
+        with pytest.raises(MappingError):
+            BokhariMapper(max_sweeps=0)
+
+
+class TestCardinalityMetric:
+    def test_identity_stencil_full_cardinality(self):
+        g = mesh2d_pattern(4, 4)
+        topo = Torus((4, 4))
+        from repro.mapping import IdentityMapper
+
+        assert cardinality(IdentityMapper().map(g, topo)) == g.num_edges
+
+    def test_colocated_edges_not_counted(self):
+        from repro.mapping import Mapping
+
+        g = TaskGraph(2, [(0, 1, 5.0)])
+        topo = Mesh((2, 2))
+        assert cardinality(Mapping(g, topo, [0, 0])) == 0
+
+    def test_empty_graph(self):
+        from repro.mapping import Mapping
+
+        g = TaskGraph(2)
+        assert cardinality(Mapping(g, Mesh((2,)), [0, 1])) == 0

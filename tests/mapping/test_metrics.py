@@ -1,0 +1,207 @@
+"""Tests for hop-bytes and related mapping metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import MappingError
+from repro.mapping.metrics import (
+    dilation_histogram,
+    dilation_stats,
+    hop_bytes,
+    hops_per_byte,
+    load_imbalance,
+    per_link_loads,
+    per_task_hop_bytes,
+    processor_loads,
+)
+from repro.taskgraph import TaskGraph, random_taskgraph
+from repro.topology import Mesh, Torus
+
+
+class TestHopBytes:
+    def test_manual_example(self, tiny_graph):
+        topo = Mesh((4,))  # a path of 4 processors
+        # identity: d(0,1)=1, d(1,2)=1, d(2,3)=1, d(0,3)=3
+        assert hop_bytes(tiny_graph, topo, [0, 1, 2, 3]) == pytest.approx(
+            10 * 1 + 20 * 1 + 30 * 1 + 100 * 3
+        )
+
+    def test_all_on_one_processor_is_zero(self, tiny_graph):
+        topo = Mesh((2, 2))
+        assert hop_bytes(tiny_graph, topo, [0, 0, 0, 0]) == 0.0
+
+    def test_hops_per_byte_normalization(self, tiny_graph):
+        topo = Mesh((4,))
+        hb = hop_bytes(tiny_graph, topo, [0, 1, 2, 3])
+        assert hops_per_byte(tiny_graph, topo, [0, 1, 2, 3]) == pytest.approx(
+            hb / tiny_graph.total_bytes
+        )
+
+    def test_edgeless_graph(self):
+        g = TaskGraph(3)
+        topo = Mesh((3,))
+        assert hop_bytes(g, topo, [0, 1, 2]) == 0.0
+        assert hops_per_byte(g, topo, [0, 1, 2]) == 0.0
+
+    def test_bad_assignment_shape(self, tiny_graph):
+        topo = Mesh((4,))
+        with pytest.raises(MappingError):
+            hop_bytes(tiny_graph, topo, [0, 1])
+
+    def test_bad_processor_id(self, tiny_graph):
+        topo = Mesh((4,))
+        with pytest.raises(MappingError):
+            hop_bytes(tiny_graph, topo, [0, 1, 2, 9])
+
+    def test_identity_on_matching_pattern_is_one_hop(self):
+        from repro.taskgraph import mesh2d_pattern
+
+        topo = Torus((6, 6))
+        g = mesh2d_pattern(6, 6)
+        assert hops_per_byte(g, topo, np.arange(36)) == pytest.approx(1.0)
+
+    def test_large_p_groupby_path_matches_matrix_path(self, rng):
+        """The no-distance-matrix code path gives identical results."""
+        import repro.mapping.metrics as metrics
+
+        g = random_taskgraph(40, edge_prob=0.2, seed=3)
+        topo = Torus((7, 6))
+        assign = rng.permutation(42)[:40]
+        expected = hop_bytes(g, topo, assign)
+        old = metrics._MATRIX_LIMIT
+        try:
+            metrics._MATRIX_LIMIT = 1  # force the group-by-source path
+            topo2 = Torus((7, 6))  # fresh topology: no cached matrix
+            assert hop_bytes(g, topo2, assign) == pytest.approx(expected)
+        finally:
+            metrics._MATRIX_LIMIT = old
+
+
+class TestPerTaskHopBytes:
+    def test_additivity_identity(self, tiny_graph):
+        """The paper's identity: HB = (1/2) * sum over tasks of HB(t)."""
+        topo = Torus((2, 2))
+        assign = [0, 1, 2, 3]
+        per_task = per_task_hop_bytes(tiny_graph, topo, assign)
+        assert per_task.sum() / 2 == pytest.approx(hop_bytes(tiny_graph, topo, assign))
+
+    def test_isolated_task_contributes_zero(self):
+        g = TaskGraph(3, [(0, 1, 10.0)])
+        topo = Mesh((3,))
+        per_task = per_task_hop_bytes(g, topo, [0, 2, 1])
+        assert per_task[2] == 0.0
+
+
+class TestPerLinkLoads:
+    def test_single_edge_route(self):
+        g = TaskGraph(2, [(0, 1, 100.0)])
+        topo = Mesh((4,))
+        loads = per_link_loads(g, topo, [0, 3])
+        # 50 bytes each way across every link of the 3-hop path.
+        assert loads[(0, 1)] == 50.0
+        assert loads[(3, 2)] == 50.0
+        assert len(loads) == 6
+
+    def test_colocated_edge_loads_nothing(self):
+        g = TaskGraph(2, [(0, 1, 100.0)])
+        topo = Mesh((2, 2))
+        assert per_link_loads(g, topo, [1, 1]) == {}
+
+    def test_total_conservation(self, tiny_graph):
+        """Summed link loads equal hop-bytes (each byte counted per hop)."""
+        topo = Torus((2, 2))
+        assign = [0, 1, 2, 3]
+        loads = per_link_loads(tiny_graph, topo, assign)
+        assert sum(loads.values()) == pytest.approx(hop_bytes(tiny_graph, topo, assign))
+
+
+class TestDilationHistogram:
+    def test_identity_concentrates_at_one(self):
+        from repro.taskgraph import mesh2d_pattern
+
+        g = mesh2d_pattern(4, 4)
+        topo = Torus((4, 4))
+        hist = dilation_histogram(g, topo, np.arange(16))
+        assert set(hist) == {1}
+        assert hist[1] == pytest.approx(g.total_bytes)
+
+    def test_histogram_sums_to_total_bytes(self, tiny_graph, rng):
+        topo = Torus((2, 2))
+        hist = dilation_histogram(tiny_graph, topo, rng.permutation(4))
+        assert sum(hist.values()) == pytest.approx(tiny_graph.total_bytes)
+
+    def test_hop_bytes_identity(self, tiny_graph):
+        topo = Mesh((4,))
+        assign = [0, 1, 2, 3]
+        hist = dilation_histogram(tiny_graph, topo, assign)
+        assert sum(d * b for d, b in hist.items()) == pytest.approx(
+            hop_bytes(tiny_graph, topo, assign)
+        )
+
+    def test_colocation_bucket_zero(self, tiny_graph):
+        topo = Mesh((2, 2))
+        hist = dilation_histogram(tiny_graph, topo, [0, 0, 0, 0])
+        assert set(hist) == {0}
+
+    def test_empty_graph(self):
+        g = TaskGraph(3)
+        assert dilation_histogram(g, Mesh((3,)), [0, 1, 2]) == {}
+
+
+class TestDilationAndLoads:
+    def test_dilation_stats(self, tiny_graph):
+        topo = Mesh((4,))
+        stats = dilation_stats(tiny_graph, topo, [0, 1, 2, 3])
+        assert stats["max"] == 3.0
+        assert stats["mean"] == pytest.approx((1 + 1 + 1 + 3) / 4)
+
+    def test_dilation_empty(self):
+        g = TaskGraph(2)
+        assert dilation_stats(g, Mesh((2,)), [0, 1])["max"] == 0.0
+
+    def test_processor_loads(self, tiny_graph):
+        topo = Mesh((2, 2))
+        loads = processor_loads(tiny_graph, topo, [0, 0, 1, 3])
+        assert loads.tolist() == [3.0, 3.0, 0.0, 4.0]
+
+    def test_load_imbalance_balanced(self):
+        g = TaskGraph(4, [], vertex_weights=[1, 1, 1, 1])
+        assert load_imbalance(g, Mesh((4,)), [0, 1, 2, 3]) == 1.0
+
+    def test_load_imbalance_skewed(self):
+        g = TaskGraph(4, [], vertex_weights=[4, 0, 0, 0])
+        assert load_imbalance(g, Mesh((4,)), [0, 1, 2, 3]) == 4.0
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=40, deadline=None)
+def test_property_permutation_of_processor_labels_by_automorphism(seed):
+    """Translating every processor of a torus (an automorphism) preserves HB."""
+    rng = np.random.default_rng(seed)
+    topo = Torus((4, 4))
+    g = random_taskgraph(16, edge_prob=0.3, seed=int(seed))
+    assign = rng.permutation(16)
+    shift = int(rng.integers(0, 16))
+    coords = np.array([topo.coords(int(a)) for a in assign])
+    dcoord = np.array(topo.coords(shift))
+    translated = np.array(
+        [topo.index(tuple((c + dcoord) % 4)) for c in coords]
+    )
+    assert hop_bytes(g, topo, assign) == pytest.approx(hop_bytes(g, topo, translated))
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=40, deadline=None)
+def test_property_hop_bytes_scales_linearly_with_weights(seed):
+    rng = np.random.default_rng(seed)
+    g = random_taskgraph(12, edge_prob=0.4, seed=int(seed))
+    scaled = TaskGraph(12, [(a, b, 3.5 * w) for a, b, w in g.edges()])
+    topo = Mesh((3, 4))
+    assign = rng.permutation(12)
+    assert hop_bytes(scaled, topo, assign) == pytest.approx(
+        3.5 * hop_bytes(g, topo, assign)
+    )

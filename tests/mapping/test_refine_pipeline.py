@@ -1,0 +1,185 @@
+"""Tests for RefineTopoLB, TwoPhaseMapper and the analysis helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import MappingError
+from repro.mapping import (
+    IdentityMapper,
+    Mapping,
+    RandomMapper,
+    RefineTopoLB,
+    TopoLB,
+    TwoPhaseMapper,
+    hop_bytes,
+)
+from repro.mapping.analysis import (
+    expected_random_hops_per_byte,
+    expected_random_pair_distance,
+)
+from repro.partition import GreedyPartitioner, MultilevelPartitioner
+from repro.taskgraph import TaskGraph, leanmd_taskgraph, mesh2d_pattern, random_taskgraph
+from repro.topology import Mesh, Torus
+
+
+class TestRefineTopoLB:
+    def test_never_worse(self):
+        topo = Torus((5, 5))
+        g = random_taskgraph(25, edge_prob=0.25, seed=2)
+        for seed in range(4):
+            before = RandomMapper(seed=seed).map(g, topo)
+            after = RefineTopoLB(seed=seed).refine(before)
+            assert after.hop_bytes <= before.hop_bytes + 1e-9
+
+    def test_improves_random_substantially(self):
+        topo = Torus((6, 6))
+        g = mesh2d_pattern(6, 6)
+        before = RandomMapper(seed=0).map(g, topo)
+        after = RefineTopoLB(max_sweeps=20, seed=0).refine(before)
+        assert after.hop_bytes < 0.6 * before.hop_bytes
+
+    def test_hop_bytes_recomputed_matches_incremental(self):
+        """The refiner's internal cost table must stay consistent: the final
+        mapping's recomputed hop-bytes equals what metrics report."""
+        topo = Torus((4, 4))
+        g = random_taskgraph(16, edge_prob=0.4, seed=7)
+        after = RefineTopoLB(seed=1).refine(RandomMapper(seed=1).map(g, topo))
+        assert after.hop_bytes == pytest.approx(
+            hop_bytes(g, topo, after.assignment)
+        )
+
+    def test_result_is_bijection(self):
+        topo = Mesh((3, 3))
+        g = random_taskgraph(9, edge_prob=0.5, seed=3)
+        after = RefineTopoLB(seed=0).refine(RandomMapper(seed=0).map(g, topo))
+        assert after.is_bijection()
+
+    def test_fixed_point_of_optimal(self):
+        """An optimal 1.0-hops/byte mapping admits no improving swap."""
+        topo = Torus((6, 6))
+        g = mesh2d_pattern(6, 6)
+        optimal = IdentityMapper().map(g, topo)
+        refined = RefineTopoLB(seed=0).refine(optimal)
+        assert refined.hop_bytes == pytest.approx(optimal.hop_bytes)
+
+    def test_map_requires_base(self):
+        with pytest.raises(MappingError, match="base"):
+            RefineTopoLB().map(mesh2d_pattern(2, 2), Torus((2, 2)))
+
+    def test_map_with_base(self):
+        topo = Torus((4, 4))
+        g = mesh2d_pattern(4, 4)
+        m = RefineTopoLB(base=TopoLB(), seed=0).map(g, topo)
+        assert m.hops_per_byte <= TopoLB().map(g, topo).hops_per_byte + 1e-9
+
+    def test_requires_bijection(self, pattern8x8, torus8x8):
+        squashed = Mapping(pattern8x8, torus8x8, [0] * 64)
+        with pytest.raises(MappingError, match="bijective"):
+            RefineTopoLB().refine(squashed)
+
+    def test_bad_sweeps(self):
+        with pytest.raises(MappingError):
+            RefineTopoLB(max_sweeps=0)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_monotone_improvement(self, seed):
+        topo = Torus((3, 4))
+        g = random_taskgraph(12, edge_prob=0.3, seed=seed)
+        before = RandomMapper(seed=seed).map(g, topo)
+        after = RefineTopoLB(max_sweeps=3, seed=seed).refine(before)
+        assert after.hop_bytes <= before.hop_bytes + 1e-9
+        assert after.is_bijection()
+
+
+class TestTwoPhaseMapper:
+    def test_equal_sizes_skips_partitioning(self):
+        topo = Torus((4, 4))
+        g = mesh2d_pattern(4, 4)
+        tp = TwoPhaseMapper(mapper=TopoLB())
+        mapping = tp.map(g, topo)
+        assert mapping.is_bijection()
+        assert (tp.last_groups == np.arange(16)).all()
+
+    def test_larger_graph_coalesces(self):
+        topo = Torus((4, 4))
+        g = leanmd_taskgraph(16, cells_shape=(3, 3, 3))
+        tp = TwoPhaseMapper()
+        mapping = tp.map(g, topo)
+        assert mapping.assignment.shape == (g.num_tasks,)
+        # Every processor hosts at least one task.
+        assert len(np.unique(mapping.assignment)) == 16
+        assert tp.last_group_mapping is not None
+        assert tp.last_group_mapping.is_bijection()
+
+    def test_expansion_consistent_with_groups(self):
+        topo = Torus((3, 3))
+        g = random_taskgraph(40, edge_prob=0.1, seed=0)
+        tp = TwoPhaseMapper(partitioner=GreedyPartitioner())
+        mapping = tp.map(g, topo)
+        groups = tp.last_groups
+        gmap = tp.last_group_mapping.assignment
+        assert (mapping.assignment == gmap[groups]).all()
+
+    def test_refiner_plumbed_through(self):
+        topo = Torus((4, 4))
+        g = leanmd_taskgraph(8, cells_shape=(3, 3, 3))
+        plain = TwoPhaseMapper(
+            partitioner=MultilevelPartitioner(seed=0), mapper=RandomMapper(seed=0)
+        )
+        refined = TwoPhaseMapper(
+            partitioner=MultilevelPartitioner(seed=0),
+            mapper=RandomMapper(seed=0),
+            refiner=RefineTopoLB(seed=0),
+        )
+        assert (
+            refined.map(g, topo).hop_bytes <= plain.map(g, topo).hop_bytes + 1e-9
+        )
+
+    def test_defaults(self):
+        tp = TwoPhaseMapper()
+        topo = Torus((3, 3))
+        g = random_taskgraph(30, edge_prob=0.2, seed=1)
+        assert tp.map(g, topo).assignment.shape == (30,)
+
+
+class TestAnalysis:
+    def test_expected_pair_distance_matches_matrix(self):
+        topo = Torus((5, 4))
+        assert expected_random_pair_distance(topo) == pytest.approx(
+            topo.distance_matrix().mean()
+        )
+
+    def test_distinct_correction(self):
+        topo = Torus((4, 4))
+        mat = topo.distance_matrix().astype(float)
+        off = mat[~np.eye(16, dtype=bool)].mean()
+        assert expected_random_pair_distance(topo, distinct=True) == pytest.approx(off)
+
+    def test_paper_formulas(self):
+        # sqrt(p)/2 on square 2D tori, 3*cbrt(p)/4 on cubic 3D tori.
+        assert expected_random_hops_per_byte(Torus((16, 16))) == pytest.approx(8.0)
+        assert expected_random_hops_per_byte(Torus((8, 8, 8))) == pytest.approx(6.0)
+
+    def test_arbitrary_topology_fallback(self):
+        from repro.topology import ArbitraryTopology
+
+        topo = ArbitraryTopology(3, [(0, 1), (1, 2)])
+        assert expected_random_pair_distance(topo) == pytest.approx(
+            topo.distance_matrix().mean()
+        )
+
+    def test_monte_carlo_agreement(self):
+        """Sampled random-mapping hops/byte converges to the formula."""
+        topo = Torus((6, 6))
+        g = mesh2d_pattern(6, 6)
+        samples = [
+            RandomMapper(seed=s).map(g, topo).hops_per_byte for s in range(40)
+        ]
+        assert np.mean(samples) == pytest.approx(
+            expected_random_hops_per_byte(topo, distinct=True), rel=0.05
+        )

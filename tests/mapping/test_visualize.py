@@ -1,0 +1,72 @@
+"""Tests for the ASCII placement / link-heat renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import MappingError
+from repro.mapping import IdentityMapper, Mapping, RandomMapper, render_link_heat, render_placement
+from repro.taskgraph import TaskGraph, mesh2d_pattern
+from repro.topology import Hypercube, Mesh, Torus
+
+
+class TestRenderPlacement:
+    def test_identity_grid(self):
+        g = mesh2d_pattern(2, 2)
+        m = IdentityMapper().map(g, Torus((2, 2)))
+        assert render_placement(m) == "0 1\n2 3"
+
+    def test_permuted(self):
+        g = mesh2d_pattern(2, 2)
+        m = Mapping(g, Mesh((2, 2)), [3, 2, 1, 0])
+        assert render_placement(m) == "3 2\n1 0"
+
+    def test_multi_resident(self):
+        g = TaskGraph(3)
+        m = Mapping(g, Mesh((2, 2)), [0, 0, 3])
+        out = render_placement(m)
+        assert "0+1" in out
+        assert "." in out  # empty processors marked
+
+    def test_rejects_non_2d(self):
+        g = mesh2d_pattern(2, 4)
+        with pytest.raises(MappingError):
+            render_placement(IdentityMapper().map(g, Hypercube(3)))
+        with pytest.raises(MappingError):
+            render_placement(IdentityMapper().map(g, Mesh((8,))))
+
+    def test_alignment_for_wide_ids(self):
+        g = mesh2d_pattern(4, 4)
+        m = IdentityMapper().map(g, Mesh((4, 4)))
+        lines = render_placement(m).splitlines()
+        assert len({len(line) for line in lines}) == 1  # rectangular
+
+
+class TestRenderLinkHeat:
+    def test_identity_uniform_heat(self):
+        g = mesh2d_pattern(3, 3)
+        m = IdentityMapper().map(g, Mesh((3, 3)))
+        out = render_link_heat(m)
+        # all used links carry equal load -> hottest everywhere
+        assert "@" in out
+        assert out.count("o") == 9
+
+    def test_no_traffic(self):
+        g = TaskGraph(4)
+        m = IdentityMapper().map(g, Mesh((2, 2)))
+        out = render_link_heat(m)
+        assert "@" not in out
+
+    def test_hot_link_visible(self):
+        g = TaskGraph(4, [(0, 1, 1000.0), (2, 3, 1.0)])
+        m = IdentityMapper().map(g, Mesh((2, 2)))
+        out = render_link_heat(m)
+        lines = out.splitlines()
+        assert lines[0] == "o@o"      # the heavy 0-1 link
+        assert lines[2][1] == " "     # the featherweight 2-3 link
+
+    def test_random_mapping_renders(self):
+        g = mesh2d_pattern(4, 4)
+        m = RandomMapper(seed=0).map(g, Torus((4, 4)))
+        out = render_link_heat(m)
+        assert out.count("o") == 16

@@ -1,0 +1,144 @@
+"""Tests for collective-operation simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.netsim import (
+    NetworkSimulator,
+    bfs_tree,
+    binomial_tree,
+    simulate_allreduce,
+    simulate_broadcast,
+    simulate_reduce,
+)
+from repro.topology import Mesh, Torus
+
+
+def _covers_all(children: dict[int, list[int]], root: int, p: int) -> bool:
+    seen = {root}
+    stack = [root]
+    while stack:
+        v = stack.pop()
+        for c in children[v]:
+            assert c not in seen  # a tree: no node reached twice
+            seen.add(c)
+            stack.append(c)
+    return len(seen) == p
+
+
+class TestTrees:
+    @pytest.mark.parametrize("root", [0, 7, 15])
+    def test_bfs_tree_spans(self, root):
+        topo = Torus((4, 4))
+        tree = bfs_tree(topo, root)
+        assert _covers_all(tree, root, 16)
+
+    def test_bfs_tree_edges_are_links(self):
+        topo = Mesh((3, 3))
+        tree = bfs_tree(topo, 4)
+        for v, kids in tree.items():
+            for c in kids:
+                assert topo.distance(v, c) == 1
+
+    @pytest.mark.parametrize("root", [0, 3])
+    def test_binomial_tree_spans(self, root):
+        topo = Torus((4, 4))
+        tree = binomial_tree(topo, root)
+        assert _covers_all(tree, root, 16)
+
+    def test_binomial_depth_logarithmic(self):
+        from repro.netsim.collectives import _tree_depths
+
+        topo = Torus((8, 8))
+        depths = _tree_depths(binomial_tree(topo, 0), 0)
+        assert max(depths.values()) <= 6  # ceil(log2 64)
+
+
+class TestTreeProperties:
+    def test_trees_span_for_random_roots_and_shapes(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            shape = tuple(int(x) for x in rng.integers(2, 5, size=2))
+            topo = Torus(shape)
+            root = int(rng.integers(0, topo.num_nodes))
+            for fn in (bfs_tree, binomial_tree):
+                tree = fn(topo, root)
+                assert _covers_all(tree, root, topo.num_nodes)
+                # Exactly p-1 tree edges.
+                assert sum(len(k) for k in tree.values()) == topo.num_nodes - 1
+
+
+class TestBroadcast:
+    def test_completes_and_counts_messages(self):
+        topo = Torus((4, 4))
+        sim = NetworkSimulator(topo, bandwidth=100.0, alpha=0.1)
+        t = simulate_broadcast(sim, 0, 1000.0)
+        assert t > 0
+        assert sim.stats.count == 15  # one message per non-root node
+
+    def test_single_node(self):
+        topo = Mesh((1,))
+        sim = NetworkSimulator(topo, bandwidth=100.0)
+        assert simulate_broadcast(sim, 0, 100.0) == 0.0
+
+    def test_bfs_tree_beats_binomial_on_torus(self):
+        """Topology-aware tree: every hop is a link; binomial edges span
+        many hops and contend — the mapping lesson at collective level."""
+        topo = Torus((8, 8))
+        times = {}
+        for name, tree_fn in (("bfs", bfs_tree), ("binomial", binomial_tree)):
+            sim = NetworkSimulator(topo, bandwidth=50.0, alpha=0.2)
+            times[name] = simulate_broadcast(sim, 0, 4000.0,
+                                             tree=tree_fn(topo, 0))
+        assert times["bfs"] < times["binomial"]
+
+    def test_larger_payload_slower(self):
+        topo = Torus((4, 4))
+        t_small = simulate_broadcast(
+            NetworkSimulator(topo, bandwidth=100.0, alpha=0.1), 0, 100.0
+        )
+        t_big = simulate_broadcast(
+            NetworkSimulator(topo, bandwidth=100.0, alpha=0.1), 0, 10_000.0
+        )
+        assert t_big > t_small
+
+
+class TestReduce:
+    def test_completes(self):
+        topo = Torus((4, 4))
+        sim = NetworkSimulator(topo, bandwidth=100.0, alpha=0.1)
+        t = simulate_reduce(sim, 0, 500.0)
+        assert t > 0
+        assert sim.stats.count == 15
+
+    def test_combine_time_adds_up(self):
+        topo = Mesh((8,))  # a line: deep tree from node 0
+        t_free = simulate_reduce(
+            NetworkSimulator(topo, bandwidth=100.0, alpha=0.1), 0, 100.0
+        )
+        t_slow = simulate_reduce(
+            NetworkSimulator(topo, bandwidth=100.0, alpha=0.1), 0, 100.0,
+            combine_time=5.0,
+        )
+        assert t_slow > t_free + 5.0
+
+    def test_allreduce_is_reduce_plus_broadcast(self):
+        topo = Torus((4, 4))
+        sim = NetworkSimulator(topo, bandwidth=100.0, alpha=0.1)
+        t = simulate_allreduce(sim, 0, 500.0)
+        assert t > 0
+        assert sim.stats.count == 30
+
+    def test_roots_equivalent_on_torus(self):
+        """Vertex-transitive machine: the root choice cannot matter."""
+        topo = Torus((4, 4))
+        times = []
+        for root in (0, 5, 15):
+            sim = NetworkSimulator(topo, bandwidth=100.0, alpha=0.1)
+            times.append(simulate_reduce(sim, root, 300.0))
+        assert max(times) == pytest.approx(min(times))

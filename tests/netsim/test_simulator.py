@@ -1,0 +1,281 @@
+"""Tests for the network simulator's link model and contention behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SimulationError
+from repro.netsim import LinkModel, NetworkSimulator
+from repro.netsim.stats import link_utilization, summarize_latencies
+from repro.topology import Mesh, Torus
+
+
+def make_sim(**kw):
+    defaults = dict(bandwidth=100.0, alpha=0.5, local_latency=0.05)
+    defaults.update(kw)
+    return NetworkSimulator(Mesh((8,)), **defaults)
+
+
+class TestNoLoadLatency:
+    def test_cut_through_formula(self):
+        """Uncontended L-hop delivery = L*alpha + size/bandwidth."""
+        sim = make_sim()
+        msg = sim.send(0, 4, 200.0)  # 4 hops
+        sim.run()
+        assert msg.latency == pytest.approx(4 * 0.5 + 200.0 / 100.0)
+        assert msg.hops == 4
+
+    def test_store_and_forward_formula(self):
+        """Uncontended L-hop S&F delivery = L*(alpha + size/bandwidth)."""
+        sim = make_sim(model=LinkModel.STORE_AND_FORWARD)
+        msg = sim.send(0, 3, 200.0)
+        sim.run()
+        assert msg.latency == pytest.approx(3 * (0.5 + 2.0))
+
+    def test_store_and_forward_slower_multihop(self):
+        lat = {}
+        for model in LinkModel:
+            sim = make_sim(model=model)
+            msg = sim.send(0, 7, 500.0)
+            sim.run()
+            lat[model] = msg.latency
+        assert lat[LinkModel.STORE_AND_FORWARD] > lat[LinkModel.CUT_THROUGH]
+
+    def test_one_hop_models_agree(self):
+        lat = {}
+        for model in LinkModel:
+            sim = make_sim(model=model)
+            msg = sim.send(2, 3, 100.0)
+            sim.run()
+            lat[model] = msg.latency
+        assert lat[LinkModel.STORE_AND_FORWARD] == pytest.approx(
+            lat[LinkModel.CUT_THROUGH]
+        )
+
+    def test_local_message(self):
+        sim = make_sim()
+        msg = sim.send(3, 3, 1e9)  # size irrelevant on-node
+        sim.run()
+        assert msg.latency == pytest.approx(0.05)
+        assert msg.hops == 0
+
+    def test_latency_scales_with_bandwidth(self):
+        lats = []
+        for bw in (50.0, 100.0):
+            sim = make_sim(bandwidth=bw)
+            msg = sim.send(0, 1, 1000.0)
+            sim.run()
+            lats.append(msg.latency)
+        assert lats[0] == pytest.approx(2 * lats[1] - 0.5)
+
+
+class TestContention:
+    def test_fifo_serialization_on_shared_link(self):
+        """Two simultaneous messages over one link: second waits for first."""
+        sim = make_sim()
+        m1 = sim.send(0, 1, 100.0, at=0.0)
+        m2 = sim.send(0, 1, 100.0, at=0.0)
+        sim.run()
+        assert m1.latency == pytest.approx(0.5 + 1.0)
+        # m2 queues until m1's occupancy (alpha + serialization) ends.
+        assert m2.deliver_time == pytest.approx(m1.deliver_time + 1.5)
+
+    def test_fifo_order_preserved(self):
+        sim = make_sim()
+        order = []
+        for i in range(5):
+            sim.send(0, 2, 50.0, on_delivery=lambda m, i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_disjoint_paths_do_not_interact(self):
+        sim = NetworkSimulator(Mesh((2, 2)), bandwidth=100.0, alpha=0.5)
+        m1 = sim.send(0, 1, 100.0)
+        m2 = sim.send(2, 3, 100.0)
+        sim.run()
+        assert m1.latency == pytest.approx(m2.latency)
+        assert m1.latency == pytest.approx(1.5)
+
+    def test_opposite_directions_are_independent_channels(self):
+        sim = make_sim()
+        m1 = sim.send(0, 1, 100.0)
+        m2 = sim.send(1, 0, 100.0)
+        sim.run()
+        assert m1.latency == pytest.approx(1.5)
+        assert m2.latency == pytest.approx(1.5)
+
+    def test_congestion_grows_latency(self):
+        """Many senders crossing one cut: mean latency far above no-load."""
+        sim = make_sim()
+        for _ in range(20):
+            sim.send(0, 7, 1000.0)
+        sim.run()
+        no_load = 7 * 0.5 + 10.0
+        assert sim.stats.mean_latency > 3 * no_load
+
+
+class TestNicModel:
+    def test_nic_serializes_fanout(self):
+        """With a NIC, simultaneous sends to different partners serialize."""
+        topo = Torus((4,))
+        sim = NetworkSimulator(topo, bandwidth=100.0, alpha=0.0, nic_bandwidth=100.0)
+        m1 = sim.send(0, 1, 100.0)
+        m2 = sim.send(0, 3, 100.0)  # other direction: different link, same NIC
+        sim.run()
+        assert abs(m1.deliver_time - m2.deliver_time) >= 1.0 - 1e-9
+
+    def test_nic_channels_not_counted_as_hops(self):
+        sim = NetworkSimulator(Mesh((4,)), bandwidth=100.0, nic_bandwidth=100.0)
+        msg = sim.send(0, 2, 100.0)
+        sim.run()
+        assert msg.hops == 2
+
+    def test_nic_free_for_single_cutthrough_message(self):
+        """Cut-through pipelines through the NIC: one uncontended message
+        pays nothing extra (the NIC only matters under fan-out load)."""
+        lat = []
+        for nic in (None, 100.0):
+            sim = NetworkSimulator(Mesh((4,)), bandwidth=100.0, alpha=0.5,
+                                   nic_bandwidth=nic)
+            msg = sim.send(0, 1, 100.0)
+            sim.run()
+            lat.append(msg.latency)
+        assert lat[1] == pytest.approx(lat[0])
+
+    def test_nic_adds_latency_store_and_forward(self):
+        lat = []
+        for nic in (None, 100.0):
+            sim = NetworkSimulator(Mesh((4,)), bandwidth=100.0, alpha=0.5,
+                                   nic_bandwidth=nic,
+                                   model=LinkModel.STORE_AND_FORWARD)
+            msg = sim.send(0, 1, 100.0)
+            sim.run()
+            lat.append(msg.latency)
+        assert lat[1] > lat[0]
+
+
+class TestHeterogeneousLinks:
+    def test_slow_link_slows_serialization(self):
+        sim = NetworkSimulator(Mesh((3,)), bandwidth=100.0, alpha=0.0,
+                               link_bandwidths={(0, 1): 10.0})
+        slow = sim.send(0, 1, 100.0)
+        fast = sim.send(1, 2, 100.0)
+        sim.run()
+        assert slow.latency == pytest.approx(10.0)
+        assert fast.latency == pytest.approx(1.0)
+
+    def test_override_applies_both_directions(self):
+        sim = NetworkSimulator(Mesh((2,)), bandwidth=100.0, alpha=0.0,
+                               link_bandwidths={(0, 1): 10.0})
+        back = sim.send(1, 0, 100.0)
+        sim.run()
+        assert back.latency == pytest.approx(10.0)
+
+    def test_asymmetric_overrides(self):
+        sim = NetworkSimulator(Mesh((2,)), bandwidth=100.0, alpha=0.0,
+                               link_bandwidths={(0, 1): 10.0, (1, 0): 50.0})
+        fwd = sim.send(0, 1, 100.0)
+        back = sim.send(1, 0, 100.0)
+        sim.run()
+        assert fwd.latency == pytest.approx(10.0)
+        assert back.latency == pytest.approx(2.0)
+
+    def test_bad_override_rejected(self):
+        with pytest.raises(SimulationError):
+            NetworkSimulator(Mesh((2,)), link_bandwidths={(0, 1): 0.0})
+
+
+class TestValidation:
+    def test_bad_bandwidth(self):
+        with pytest.raises(SimulationError):
+            NetworkSimulator(Mesh((4,)), bandwidth=0.0)
+
+    def test_bad_nic_bandwidth(self):
+        with pytest.raises(SimulationError):
+            NetworkSimulator(Mesh((4,)), nic_bandwidth=-1.0)
+
+    def test_bad_alpha(self):
+        with pytest.raises(SimulationError):
+            NetworkSimulator(Mesh((4,)), alpha=-0.1)
+
+    def test_bad_message_size(self):
+        sim = make_sim()
+        with pytest.raises(SimulationError):
+            sim.send(0, 1, 0.0)
+
+
+class TestStats:
+    def test_message_accounting(self):
+        sim = make_sim()
+        sim.send(0, 3, 100.0)
+        sim.send(1, 2, 50.0)
+        sim.run()
+        assert sim.stats.count == 2
+        assert sim.stats.total_bytes == 150.0
+        assert sim.stats.hops_per_byte == pytest.approx((100 * 3 + 50 * 1) / 150)
+
+    def test_latency_summary(self):
+        sim = make_sim()
+        for i in range(10):
+            sim.send(0, 1 + (i % 3), 100.0)
+        sim.run()
+        summary = summarize_latencies(sim)
+        assert summary["count"] == 10
+        assert summary["p50"] <= summary["p95"] <= summary["max"]
+
+    def test_link_utilization_range(self):
+        sim = make_sim()
+        for _ in range(5):
+            sim.send(0, 7, 500.0)
+        sim.run()
+        util = link_utilization(sim)
+        assert 0.0 < util["mean"] <= util["max"] + 1e-9
+        assert util["max"] <= 1.0 + 1e-9
+
+    def test_link_bytes_conservation(self):
+        sim = make_sim()
+        sim.send(0, 3, 100.0)
+        sim.run()
+        total = sum(sim.link_bytes().values())
+        assert total == pytest.approx(300.0)  # 100 bytes x 3 links
+
+    def test_empty_stats(self):
+        sim = make_sim()
+        assert summarize_latencies(sim)["count"] == 0
+        assert sim.stats.mean_latency == 0.0
+        assert sim.stats.max_latency == 0.0
+
+    def test_undelivered_latency_raises(self):
+        sim = make_sim()
+        msg = sim.send(0, 5, 10.0)
+        with pytest.raises(ValueError):
+            _ = msg.latency
+
+
+@given(
+    seed=st.integers(0, 100_000),
+    n_msgs=st.integers(1, 25),
+    model=st.sampled_from(list(LinkModel)),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_latency_at_least_no_load(seed, n_msgs, model):
+    """Causality: no message beats its own no-load latency; all deliver."""
+    topo = Torus((3, 3))
+    sim = NetworkSimulator(topo, bandwidth=50.0, alpha=0.3, model=model)
+    rng = np.random.default_rng(seed)
+    msgs = []
+    for _ in range(n_msgs):
+        a, b = (int(x) for x in rng.integers(0, 9, size=2))
+        msgs.append(sim.send(a, b, float(rng.uniform(1, 500)), at=float(rng.uniform(0, 5))))
+    sim.run()
+    for m in msgs:
+        assert m.deliver_time is not None
+        if m.hops == 0:
+            continue
+        no_load = m.hops * 0.3 + m.size_bytes / 50.0
+        if model is LinkModel.STORE_AND_FORWARD:
+            no_load = m.hops * (0.3 + m.size_bytes / 50.0)
+        assert m.latency >= no_load - 1e-9

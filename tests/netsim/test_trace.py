@@ -1,0 +1,141 @@
+"""Tests for the application-trace record/replay machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.mapping import IdentityMapper, RandomMapper
+from repro.netsim import (
+    ApplicationTrace,
+    IterativeApplication,
+    NetworkSimulator,
+    TracePhase,
+    TraceReplayer,
+    jacobi_trace,
+)
+from repro.taskgraph import TaskGraph, mesh2d_pattern
+from repro.topology import Torus
+
+
+class TestTraceConstruction:
+    def test_jacobi_trace_shape(self, pattern8x8):
+        trace = jacobi_trace(pattern8x8, iterations=3, message_bytes=100.0)
+        assert trace.num_tasks == 64
+        assert trace.num_phases == 3
+        assert trace.phase(0, 0).expected_receives == pattern8x8.degree(0)
+        assert trace.total_bytes() == pytest.approx(
+            3 * 100.0 * pattern8x8.degrees().sum()
+        )
+
+    def test_edge_derived_sizes(self):
+        g = TaskGraph(2, [(0, 1, 2000.0)])
+        trace = jacobi_trace(g, iterations=1)
+        assert trace.phase(0, 0).sends == [(1, 1000.0)]
+
+    def test_mismatched_receives_rejected(self):
+        phases = [
+            [TracePhase(1.0, sends=[(1, 10.0)], expected_receives=0)],
+            [TracePhase(1.0, sends=[], expected_receives=0)],  # should be 1
+        ]
+        with pytest.raises(SimulationError, match="expects"):
+            ApplicationTrace(phases)
+
+    def test_ragged_phases_rejected(self):
+        phases = [
+            [TracePhase(1.0), TracePhase(1.0)],
+            [TracePhase(1.0)],
+        ]
+        with pytest.raises(SimulationError, match="same phase count"):
+            ApplicationTrace(phases)
+
+    def test_bad_send_target_rejected(self):
+        phases = [[TracePhase(1.0, sends=[(5, 10.0)], expected_receives=0)]]
+        with pytest.raises(SimulationError, match="unknown task"):
+            ApplicationTrace(phases)
+
+    def test_json_roundtrip(self, pattern8x8):
+        trace = jacobi_trace(pattern8x8, iterations=2, message_bytes=64.0)
+        again = ApplicationTrace.from_json(trace.to_json())
+        assert again.num_tasks == trace.num_tasks
+        assert again.phase(5, 1).sends == trace.phase(5, 1).sends
+
+    def test_file_roundtrip(self, tmp_path, pattern8x8):
+        trace = jacobi_trace(pattern8x8, iterations=2)
+        trace.save(tmp_path / "t.json")
+        again = ApplicationTrace.load(tmp_path / "t.json")
+        assert again.total_bytes() == pytest.approx(trace.total_bytes())
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SimulationError):
+            ApplicationTrace.from_json("{nope")
+        with pytest.raises(SimulationError):
+            ApplicationTrace.from_json('{"format": "other"}')
+
+
+class TestReplay:
+    def test_matches_iterative_application(self, pattern8x8, torus8x8):
+        """The Jacobi trace replayed must time exactly like the appsim."""
+        mapping = RandomMapper(seed=3).map(pattern8x8, torus8x8)
+        trace = jacobi_trace(pattern8x8, iterations=4,
+                             compute_time=2.0, message_bytes=512.0)
+        sim1 = NetworkSimulator(torus8x8, bandwidth=100.0, alpha=0.1)
+        res_trace = TraceReplayer(trace, mapping, sim1).run()
+        sim2 = NetworkSimulator(torus8x8, bandwidth=100.0, alpha=0.1)
+        res_app = IterativeApplication(
+            mapping, sim2, iterations=4, message_bytes=512.0, compute_time=2.0
+        ).run()
+        assert res_trace.total_time == pytest.approx(res_app.total_time)
+        assert res_trace.messages_delivered == res_app.messages_delivered
+        assert res_trace.mean_message_latency == pytest.approx(
+            res_app.mean_message_latency
+        )
+
+    def test_sweep_same_trace_many_networks(self, pattern8x8, torus8x8):
+        """The BigNetSim workflow: one trace, several bandwidths."""
+        mapping = IdentityMapper().map(pattern8x8, torus8x8)
+        trace = jacobi_trace(pattern8x8, iterations=3, message_bytes=1024.0)
+        times = []
+        for bw in (400.0, 100.0, 25.0):
+            sim = NetworkSimulator(torus8x8, bandwidth=bw, alpha=0.1)
+            times.append(TraceReplayer(trace, mapping, sim).run().total_time)
+        assert times == sorted(times)  # lower bandwidth, longer run
+
+    def test_heterogeneous_phases(self):
+        """Tasks with phase-varying behaviour (not expressible as appsim)."""
+        # Task 0 pings task 1 in phase 0; task 1 answers in phase 1.
+        phases = [
+            [
+                TracePhase(1.0, sends=[(1, 100.0)], expected_receives=0),
+                TracePhase(0.5, sends=[], expected_receives=1),
+            ],
+            [
+                TracePhase(5.0, sends=[], expected_receives=1),
+                TracePhase(0.5, sends=[(0, 100.0)], expected_receives=0),
+            ],
+        ]
+        trace = ApplicationTrace(phases)
+        topo = Torus((2,))
+        g = TaskGraph(2, [(0, 1, 1.0)])
+        mapping = IdentityMapper().map(g, topo)
+        sim = NetworkSimulator(topo, bandwidth=100.0, alpha=0.1)
+        result = TraceReplayer(trace, mapping, sim).run()
+        # Task 1 computes 5us, then replies; task 0 waits for the reply.
+        assert result.total_time >= 5.0 + 0.5
+        assert result.messages_delivered == 2
+
+    def test_size_mismatch_rejected(self, pattern8x8, torus8x8):
+        trace = jacobi_trace(mesh2d_pattern(4, 4), iterations=1)
+        mapping = IdentityMapper().map(pattern8x8, torus8x8)
+        sim = NetworkSimulator(torus8x8)
+        with pytest.raises(SimulationError, match="trace has"):
+            TraceReplayer(trace, mapping, sim)
+
+    def test_run_once(self, pattern8x8, torus8x8):
+        trace = jacobi_trace(pattern8x8, iterations=1)
+        mapping = IdentityMapper().map(pattern8x8, torus8x8)
+        replayer = TraceReplayer(trace, mapping, NetworkSimulator(torus8x8))
+        replayer.run()
+        with pytest.raises(SimulationError):
+            replayer.run()

@@ -1,0 +1,135 @@
+"""Tests for synthetic traffic generators and adaptive routing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.netsim import NetworkSimulator, RoutingPolicy, run_open_loop
+from repro.netsim.traffic import make_pattern
+from repro.topology import Hypercube, Mesh, Torus
+
+
+class TestPatterns:
+    def test_uniform_covers_destinations(self, rng):
+        topo = Torus((4, 4))
+        pattern = make_pattern("uniform", topo, seed=0)
+        dests = {pattern(0, rng) for _ in range(300)}
+        assert len(dests) > 10
+
+    def test_permutation_fixed_and_derangement(self, rng):
+        topo = Torus((8,))
+        pattern = make_pattern("permutation", topo, seed=1)
+        for src in range(8):
+            dst = pattern(src, rng)
+            assert dst != src
+            assert dst == pattern(src, rng)  # stable
+
+    def test_neighbor_one_hop(self, rng):
+        topo = Torus((4, 4))
+        pattern = make_pattern("neighbor", topo, seed=2)
+        for src in range(16):
+            assert topo.distance(src, pattern(src, rng)) == 1
+
+    def test_transpose_square(self, rng):
+        topo = Mesh((4, 4))
+        pattern = make_pattern("transpose", topo, seed=0)
+        assert pattern(topo.index((1, 3)), rng) == topo.index((3, 1))
+
+    def test_transpose_needs_grid(self, rng):
+        with pytest.raises(SimulationError):
+            make_pattern("transpose", Hypercube(3))
+
+    def test_hotspot_concentrates(self, rng):
+        topo = Torus((4, 4))
+        pattern = make_pattern("hotspot", topo, seed=3, hotspot_fraction=0.5)
+        hits = sum(1 for _ in range(400) if pattern(0, rng) == 8)
+        assert hits > 120  # ~50% plus uniform background
+
+    def test_unknown_pattern(self):
+        with pytest.raises(SimulationError, match="unknown traffic"):
+            make_pattern("zipf", Torus((4,)))
+
+
+class TestOpenLoop:
+    def test_throughput_tracks_offered_load_below_saturation(self):
+        topo = Torus((4, 4))
+        sim = NetworkSimulator(topo, bandwidth=100.0, alpha=0.1)
+        r = run_open_loop(sim, "neighbor", 0.3, message_bytes=256.0,
+                          duration=400.0, seed=0)
+        assert r.throughput == pytest.approx(0.3, rel=0.2)
+        assert r.delivered > 0
+
+    def test_latency_grows_with_load(self):
+        topo = Torus((4, 4))
+        lats = []
+        for load in (0.1, 0.8):
+            sim = NetworkSimulator(topo, bandwidth=100.0, alpha=0.1)
+            r = run_open_loop(sim, "uniform", load, message_bytes=256.0,
+                              duration=400.0, seed=0)
+            lats.append(r.mean_latency)
+        assert lats[1] > lats[0]
+
+    def test_neighbor_saturates_later_than_uniform(self):
+        """The paper's premise as a saturation statement: fewer hops per
+        byte => less capacity consumed => lower latency at equal load."""
+        topo = Torus((4, 4, 4))
+        out = {}
+        for pattern in ("neighbor", "uniform"):
+            sim = NetworkSimulator(topo, bandwidth=100.0, alpha=0.1)
+            out[pattern] = run_open_loop(sim, pattern, 0.7,
+                                         message_bytes=256.0, duration=300.0,
+                                         seed=0).mean_latency
+        assert out["neighbor"] < out["uniform"]
+
+    def test_bad_load(self):
+        sim = NetworkSimulator(Torus((4,)), bandwidth=100.0)
+        with pytest.raises(SimulationError):
+            run_open_loop(sim, "uniform", 0.0)
+
+
+class TestAdaptiveRouting:
+    def test_adaptive_never_lengthens_routes(self):
+        """Adaptive candidates are all minimal: observed hops == distance."""
+        topo = Torus((4, 4))
+        sim = NetworkSimulator(topo, bandwidth=100.0, alpha=0.1,
+                               routing=RoutingPolicy.ADAPTIVE)
+        msgs = [sim.send(0, 15, 100.0) for _ in range(10)]
+        sim.run()
+        for m in msgs:
+            assert m.hops == topo.distance(0, 15)
+
+    def test_adaptive_helps_under_congestion(self):
+        topo = Torus((4, 4, 4))
+        lat = {}
+        for routing in RoutingPolicy:
+            sim = NetworkSimulator(topo, bandwidth=100.0, alpha=0.1,
+                                   routing=routing)
+            lat[routing] = run_open_loop(sim, "uniform", 0.8,
+                                         message_bytes=256.0, duration=400.0,
+                                         seed=0).mean_latency
+        assert lat[RoutingPolicy.ADAPTIVE] < lat[RoutingPolicy.DOR]
+
+    def test_adaptive_equals_dor_on_1d(self):
+        """One axis: a single minimal route exists, policies coincide."""
+        topo = Torus((8,))
+        lat = {}
+        for routing in RoutingPolicy:
+            sim = NetworkSimulator(topo, bandwidth=100.0, alpha=0.1,
+                                   routing=routing)
+            r = run_open_loop(sim, "uniform", 0.4, message_bytes=128.0,
+                              duration=200.0, seed=0)
+            lat[routing] = r.mean_latency
+        assert lat[RoutingPolicy.ADAPTIVE] == pytest.approx(lat[RoutingPolicy.DOR])
+
+    def test_deterministic(self):
+        topo = Torus((4, 4))
+        results = []
+        for _ in range(2):
+            sim = NetworkSimulator(topo, bandwidth=50.0, alpha=0.1,
+                                   routing=RoutingPolicy.ADAPTIVE)
+            r = run_open_loop(sim, "uniform", 0.5, message_bytes=128.0,
+                              duration=200.0, seed=7)
+            results.append(r.mean_latency)
+        assert results[0] == results[1]

@@ -1,0 +1,177 @@
+"""Tests for the greedy, recursive-bisection and multilevel partitioners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import PartitionError
+from repro.partition import (
+    GreedyPartitioner,
+    MultilevelPartitioner,
+    RecursiveBisectionPartitioner,
+    edge_cut_bytes,
+    partition_imbalance,
+    partition_sizes,
+)
+from repro.taskgraph import (
+    TaskGraph,
+    leanmd_taskgraph,
+    mesh2d_pattern,
+    random_taskgraph,
+)
+
+ALL_PARTITIONERS = [
+    GreedyPartitioner(),
+    RecursiveBisectionPartitioner(seed=0),
+    MultilevelPartitioner(seed=0),
+]
+
+
+def _check_valid(groups: np.ndarray, n: int, k: int) -> None:
+    assert groups.shape == (n,)
+    counts = np.bincount(groups, minlength=k)
+    assert len(counts) == k
+    assert (counts > 0).all()
+
+
+class TestValidityInvariant:
+    @pytest.mark.parametrize("part", ALL_PARTITIONERS, ids=lambda p: repr(p))
+    @pytest.mark.parametrize("k", [1, 2, 3, 7, 16])
+    def test_every_vertex_assigned_every_group_nonempty(self, part, k):
+        g = random_taskgraph(48, edge_prob=0.1, seed=1)
+        groups = part.partition(g, k)
+        _check_valid(groups, 48, k)
+
+    @pytest.mark.parametrize("part", ALL_PARTITIONERS, ids=lambda p: repr(p))
+    def test_k_equals_n(self, part):
+        g = random_taskgraph(12, edge_prob=0.3, seed=2)
+        groups = part.partition(g, 12)
+        _check_valid(groups, 12, 12)
+        assert sorted(groups.tolist()) == list(range(12))
+
+    @pytest.mark.parametrize("part", ALL_PARTITIONERS, ids=lambda p: repr(p))
+    def test_k_one(self, part):
+        g = random_taskgraph(10, seed=3)
+        groups = part.partition(g, 1)
+        assert (groups == 0).all()
+
+    @pytest.mark.parametrize("part", ALL_PARTITIONERS, ids=lambda p: repr(p))
+    def test_k_too_large_rejected(self, part):
+        g = random_taskgraph(5, seed=0)
+        with pytest.raises(PartitionError):
+            part.partition(g, 6)
+
+    @pytest.mark.parametrize("part", ALL_PARTITIONERS, ids=lambda p: repr(p))
+    def test_k_zero_rejected(self, part):
+        g = random_taskgraph(5, seed=0)
+        with pytest.raises(PartitionError):
+            part.partition(g, 0)
+
+
+class TestGreedyPartitioner:
+    def test_perfect_balance_uniform_loads(self):
+        g = TaskGraph(12, [], vertex_weights=np.ones(12))
+        groups = GreedyPartitioner().partition(g, 4)
+        assert partition_imbalance(g, groups, 4) == 1.0
+
+    def test_lpt_quality(self):
+        """LPT guarantees makespan <= 4/3 OPT; check a classic instance."""
+        weights = [7, 6, 5, 5, 4, 4, 3, 2]
+        g = TaskGraph(8, [], vertex_weights=weights)
+        groups = GreedyPartitioner().partition(g, 3)
+        sizes = partition_sizes(g, groups, 3)
+        assert sizes.max() <= (sum(weights) / 3) * 4 / 3 + 1e-9
+
+    def test_zero_weight_tasks_spread(self):
+        g = TaskGraph(6, [], vertex_weights=np.zeros(6))
+        groups = GreedyPartitioner().partition(g, 6)
+        assert sorted(groups.tolist()) == list(range(6))
+
+
+class TestRecursiveBisection:
+    def test_balanced_on_mesh(self):
+        g = mesh2d_pattern(8, 8)
+        groups = RecursiveBisectionPartitioner(seed=0).partition(g, 4)
+        assert partition_imbalance(g, groups, 4) <= 1.15
+
+    def test_cut_better_than_random_grouping(self, rng):
+        g = mesh2d_pattern(10, 10)
+        groups = RecursiveBisectionPartitioner(seed=0).partition(g, 4)
+        random_groups = rng.permutation(np.repeat(np.arange(4), 25))
+        assert edge_cut_bytes(g, groups) < 0.6 * edge_cut_bytes(g, random_groups)
+
+    def test_odd_k(self):
+        g = mesh2d_pattern(6, 7)
+        groups = RecursiveBisectionPartitioner(seed=0).partition(g, 5)
+        _check_valid(groups, 42, 5)
+        assert partition_imbalance(g, groups, 5) <= 1.35
+
+    def test_reproducible(self):
+        g = random_taskgraph(30, edge_prob=0.2, seed=5)
+        a = RecursiveBisectionPartitioner(seed=9).partition(g, 4)
+        b = RecursiveBisectionPartitioner(seed=9).partition(g, 4)
+        assert (a == b).all()
+
+    def test_disconnected_graph_handled(self):
+        # Two separate cliques; growth must restart on the second component.
+        edges = [(i, j, 1.0) for i in range(5) for j in range(i + 1, 5)]
+        edges += [(i, j, 1.0) for i in range(5, 10) for j in range(i + 1, 10)]
+        g = TaskGraph(10, edges)
+        groups = RecursiveBisectionPartitioner(seed=0).partition(g, 2)
+        _check_valid(groups, 10, 2)
+
+
+class TestMultilevelPartitioner:
+    def test_balance_within_tolerance(self):
+        g = leanmd_taskgraph(16)
+        groups = MultilevelPartitioner(imbalance_tol=1.10, seed=0).partition(g, 16)
+        assert partition_imbalance(g, groups, 16) <= 1.10 + 1e-6
+
+    def test_cut_quality_vs_greedy(self):
+        """Comm-aware partitioning must cut far fewer bytes than load-only."""
+        g = leanmd_taskgraph(16, cells_shape=(4, 4, 4))
+        ml = MultilevelPartitioner(seed=0).partition(g, 16)
+        greedy = GreedyPartitioner().partition(g, 16)
+        assert edge_cut_bytes(g, ml) < 0.7 * edge_cut_bytes(g, greedy)
+
+    def test_mesh_partition_quality(self):
+        """On a 2D mesh a k-way cut should be near the strip/block bound."""
+        g = mesh2d_pattern(16, 16)
+        groups = MultilevelPartitioner(seed=0).partition(g, 4)
+        # Perfect 4-block partition cuts 2*16 edges of weight 2 = 64 bytes;
+        # allow 2.5x slack for the heuristic.
+        assert edge_cut_bytes(g, groups) <= 2.5 * 64
+
+    def test_small_graph_skips_coarsening(self):
+        g = random_taskgraph(20, edge_prob=0.3, seed=1)
+        groups = MultilevelPartitioner(seed=0).partition(g, 4)
+        _check_valid(groups, 20, 4)
+
+    def test_reproducible(self):
+        g = leanmd_taskgraph(8)
+        a = MultilevelPartitioner(seed=3).partition(g, 8)
+        b = MultilevelPartitioner(seed=3).partition(g, 8)
+        assert (a == b).all()
+
+    def test_bad_params(self):
+        with pytest.raises(PartitionError):
+            MultilevelPartitioner(imbalance_tol=0.9)
+        with pytest.raises(PartitionError):
+            MultilevelPartitioner(coarsen_factor=1)
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    k=st.integers(2, 8),
+    n=st.integers(16, 60),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_multilevel_valid_on_random_graphs(seed, k, n):
+    g = random_taskgraph(n, edge_prob=0.15, seed=seed)
+    groups = MultilevelPartitioner(seed=seed).partition(g, k)
+    _check_valid(np.asarray(groups), n, k)
+    # Loads conserved: group sizes sum to total weight.
+    assert partition_sizes(g, groups, k).sum() == pytest.approx(g.total_vertex_weight)

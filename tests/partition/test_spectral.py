@@ -1,0 +1,67 @@
+"""Tests for the spectral partitioner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PartitionError
+from repro.partition import (
+    SpectralPartitioner,
+    edge_cut_bytes,
+    partition_imbalance,
+)
+from repro.taskgraph import TaskGraph, mesh2d_pattern, random_taskgraph
+
+
+class TestSpectralPartitioner:
+    def test_valid_output(self):
+        g = random_taskgraph(40, edge_prob=0.15, seed=0)
+        groups = SpectralPartitioner(seed=0).partition(g, 5)
+        counts = np.bincount(groups, minlength=5)
+        assert counts.sum() == 40
+        assert (counts > 0).all()
+
+    def test_two_cliques_split_cleanly(self):
+        edges = [(i, j, 10.0) for i in range(6) for j in range(i + 1, 6)]
+        edges += [(6 + i, 6 + j, 10.0) for i in range(6) for j in range(i + 1, 6)]
+        edges += [(0, 6, 0.01)]
+        g = TaskGraph(12, edges)
+        groups = SpectralPartitioner(seed=0).partition(g, 2)
+        # The Fiedler split must separate the cliques (cut = the weak edge).
+        assert edge_cut_bytes(g, groups) == pytest.approx(0.01)
+
+    def test_mesh_cut_quality(self):
+        g = mesh2d_pattern(12, 12)
+        groups = SpectralPartitioner(seed=0).partition(g, 4)
+        # Ideal 4-block cut: 2 * 12 edges of weight 2 = 48; allow 2x slack.
+        assert edge_cut_bytes(g, groups) <= 2 * 48
+        assert partition_imbalance(g, groups, 4) <= 1.25
+
+    def test_large_graph_uses_sparse_path(self):
+        g = mesh2d_pattern(16, 16)  # 256 > dense cutoff
+        groups = SpectralPartitioner(seed=0).partition(g, 2)
+        counts = np.bincount(groups, minlength=2)
+        assert abs(counts[0] - counts[1]) <= 16
+
+    def test_disconnected_falls_back(self):
+        edges = [(i, i + 1, 1.0) for i in range(0, 8, 2)]  # 4 disjoint pairs
+        g = TaskGraph(8, edges)
+        groups = SpectralPartitioner(seed=0).partition(g, 4)
+        assert len(np.unique(groups)) == 4
+
+    def test_k_one_and_k_n(self):
+        g = random_taskgraph(10, seed=1)
+        assert (SpectralPartitioner(seed=0).partition(g, 1) == 0).all()
+        assert sorted(SpectralPartitioner(seed=0).partition(g, 10).tolist()) == list(range(10))
+
+    def test_reproducible(self):
+        g = random_taskgraph(30, edge_prob=0.2, seed=2)
+        a = SpectralPartitioner(seed=5).partition(g, 3)
+        b = SpectralPartitioner(seed=5).partition(g, 3)
+        assert (a == b).all()
+
+    def test_bad_k(self):
+        g = random_taskgraph(5, seed=0)
+        with pytest.raises(PartitionError):
+            SpectralPartitioner().partition(g, 0)

@@ -1,0 +1,111 @@
+"""Tests for the LB database and the chare-array instrumentation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TaskGraphError
+from repro.runtime import ChareArray, LBDatabase
+from repro.taskgraph import random_taskgraph
+
+
+class TestLBDatabase:
+    def test_record_and_snapshot(self):
+        db = LBDatabase(3)
+        db.record_load(0, 5.0)
+        db.record_load(0, 2.0)
+        db.record_comm(0, 1, 100.0)
+        db.record_comm(1, 0, 50.0)  # merges into the same undirected pair
+        db.end_step()
+        g = db.to_taskgraph()
+        assert g.vertex_weights.tolist() == [7.0, 0.0, 0.0]
+        assert list(g.edges()) == [(0, 1, 150.0)]
+        assert db.num_steps == 1
+
+    def test_self_comm_ignored(self):
+        db = LBDatabase(2)
+        db.record_comm(1, 1, 1000.0)
+        assert db.to_taskgraph().num_edges == 0
+
+    def test_validation(self):
+        db = LBDatabase(2)
+        with pytest.raises(TaskGraphError):
+            db.record_load(5, 1.0)
+        with pytest.raises(TaskGraphError):
+            db.record_load(0, -1.0)
+        with pytest.raises(TaskGraphError):
+            db.record_comm(0, 1, -1.0)
+        with pytest.raises(TaskGraphError):
+            LBDatabase(0)
+
+    def test_from_taskgraph_roundtrip(self):
+        g = random_taskgraph(10, edge_prob=0.3, seed=0)
+        db = LBDatabase.from_taskgraph(g)
+        g2 = db.to_taskgraph()
+        assert list(g2.edges()) == list(g.edges())
+        assert g2.vertex_weights.tolist() == g.vertex_weights.tolist()
+
+    def test_dump_load_roundtrip(self, tmp_path):
+        g = random_taskgraph(8, edge_prob=0.4, seed=2)
+        db = LBDatabase.from_taskgraph(g, placement=np.arange(8) % 4)
+        path = tmp_path / "dump.json"
+        db.dump(path)
+        db2 = LBDatabase.load(path)
+        assert list(db2.to_taskgraph().edges()) == list(g.edges())
+        assert db2.placement.tolist() == (np.arange(8) % 4).tolist()
+        assert db2.num_steps == db.num_steps
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{broken")
+        with pytest.raises(TaskGraphError):
+            LBDatabase.load(path)
+        path.write_text('{"format": "other"}')
+        with pytest.raises(TaskGraphError):
+            LBDatabase.load(path)
+
+    def test_placement_shape_checked(self):
+        db = LBDatabase(3)
+        with pytest.raises(TaskGraphError):
+            db.set_placement([0, 1])
+
+
+class TestChareArray:
+    def test_round_robin_initial_placement(self):
+        arr = ChareArray(10, 4)
+        assert arr.placement.tolist() == [0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
+
+    def test_instrumented_iteration(self):
+        arr = ChareArray(4, 2)
+
+        def body(c):
+            arr.work(c, 1.0 + c)
+            arr.send(c, (c + 1) % 4, 64.0)
+
+        arr.run_iteration(body)
+        arr.run_iteration(body)
+        g = arr.database.to_taskgraph()
+        assert arr.database.num_steps == 2
+        assert g.vertex_weights.tolist() == [2.0, 4.0, 6.0, 8.0]
+        assert g.num_edges == 4
+        assert g.total_bytes == 2 * 4 * 64.0
+
+    def test_migration(self):
+        arr = ChareArray(4, 4)
+        arr.migrate([3, 2, 1, 0])
+        assert arr.placement.tolist() == [3, 2, 1, 0]
+        assert arr.database.placement.tolist() == [3, 2, 1, 0]
+
+    def test_migration_validation(self):
+        arr = ChareArray(3, 2)
+        with pytest.raises(TaskGraphError):
+            arr.migrate([0, 1])
+        with pytest.raises(TaskGraphError):
+            arr.migrate([0, 1, 5])
+
+    def test_bad_sizes(self):
+        with pytest.raises(TaskGraphError):
+            ChareArray(0, 2)
+        with pytest.raises(TaskGraphError):
+            ChareArray(2, 0)

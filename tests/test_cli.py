@@ -1,0 +1,79 @@
+"""Tests for the ``repro-map`` command-line tool."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.runtime import LBDatabase
+from repro.taskgraph import mesh2d_pattern, save_taskgraph
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "app.json"
+    save_taskgraph(mesh2d_pattern(4, 4, message_bytes=256), path)
+    return path
+
+
+class TestReproMap:
+    def test_basic_report(self, graph_file, capsys):
+        assert main(["--taskgraph", str(graph_file), "--topology", "torus:4x4"]) == 0
+        out = capsys.readouterr().out
+        assert "hops_per_byte" in out
+        assert "TopoLB" in out
+
+    def test_placement_output(self, graph_file, tmp_path, capsys):
+        out_file = tmp_path / "placement.json"
+        rc = main([
+            "--taskgraph", str(graph_file), "--topology", "torus:4x4",
+            "--strategy", "TopoCentLB", "--output", str(out_file),
+        ])
+        assert rc == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["format"] == "repro-placement-v1"
+        assert sorted(payload["placement"]) == list(range(16))
+
+    def test_lb_dump_input(self, tmp_path, capsys):
+        dump = tmp_path / "dump.json"
+        LBDatabase.from_taskgraph(mesh2d_pattern(3, 3)).dump(dump)
+        rc = main(["--taskgraph", str(dump), "--lb-dump",
+                   "--topology", "mesh:3x3", "--strategy", "RandomLB"])
+        assert rc == 0
+
+    def test_list_strategies(self, capsys):
+        assert main(["--list-strategies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("TopoLB", "TopoCentLB", "GreedyLB", "HybridTopoLB"):
+            assert name in out
+
+    def test_missing_args_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_topology_spec(self, graph_file, capsys):
+        rc = main(["--taskgraph", str(graph_file), "--topology", "blob:9"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_strategy(self, graph_file, capsys):
+        rc = main(["--taskgraph", str(graph_file), "--topology", "torus:4x4",
+                   "--strategy", "NopeLB"])
+        assert rc == 1
+
+    def test_missing_file(self, tmp_path, capsys):
+        rc = main(["--taskgraph", str(tmp_path / "absent.json"),
+                   "--topology", "torus:4x4"])
+        assert rc == 1
+
+    def test_deterministic_with_seed(self, graph_file, tmp_path):
+        outs = []
+        for i in range(2):
+            f = tmp_path / f"p{i}.json"
+            main(["--taskgraph", str(graph_file), "--topology", "torus:4x4",
+                  "--strategy", "RandomLB", "--seed", "42", "--output", str(f)])
+            outs.append(json.loads(f.read_text())["placement"])
+        assert outs[0] == outs[1]

@@ -1,0 +1,85 @@
+"""Tests that the distance-axiom checker actually catches violations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology import Torus
+from repro.topology.base import Topology
+
+
+class _BrokenTopology(Topology):
+    """Configurable-violation metric for exercising the checker."""
+
+    def __init__(self, mode: str):
+        super().__init__(4)
+        self._mode = mode
+
+    @property
+    def name(self) -> str:
+        return f"broken({self._mode})"
+
+    def distance_row(self, node: int) -> np.ndarray:
+        node = self._check_node(node)
+        if self._mode == "asymmetric":
+            # d(a, b) = b - a (mod hack): not symmetric
+            return np.array([abs(node - j) + (1 if j > node else 0) for j in range(4)])
+        if self._mode == "nonzero_self":
+            row = np.ones(4, dtype=np.int32)
+            return row
+        if self._mode == "triangle":
+            # d(0,3)=10 but d(0,1)+d(1,3)=2: violates the triangle inequality
+            base = np.array([[0, 1, 1, 10],
+                             [1, 0, 1, 1],
+                             [1, 1, 0, 1],
+                             [10, 1, 1, 0]])
+            return base[node]
+        raise AssertionError(self._mode)
+
+    def neighbors(self, node: int) -> list[int]:
+        return [j for j in range(4) if j != node]
+
+    def route(self, src: int, dst: int) -> list[int]:
+        return [src, dst] if src != dst else [src]
+
+
+class TestAxiomChecker:
+    def test_accepts_valid_metric(self):
+        Torus((4, 4)).validate_distance_axioms(sample=32)
+
+    @pytest.mark.parametrize("mode,match", [
+        ("asymmetric", "asymmetric"),
+        ("nonzero_self", "!= 0"),
+        ("triangle", "triangle"),
+    ])
+    def test_detects_violation(self, mode, match):
+        topo = _BrokenTopology(mode)
+        with pytest.raises(TopologyError, match=match):
+            topo.validate_distance_axioms(sample=256, seed=1)
+
+
+class TestAxisOrderRouting:
+    def test_all_orders_minimal(self):
+        topo = Torus((3, 4, 5))
+        from itertools import permutations
+
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            a, b = (int(x) for x in rng.integers(0, topo.num_nodes, size=2))
+            want = topo.distance(a, b)
+            for order in permutations(range(3)):
+                path = topo.route_axis_order(a, b, order)
+                assert path[0] == a and path[-1] == b
+                assert len(path) - 1 == want
+                for u, v in zip(path, path[1:]):
+                    assert topo.distance(u, v) == 1
+
+    def test_orders_differ_when_multiple_axes_move(self):
+        topo = Torus((4, 4))
+        a, b = topo.index((0, 0)), topo.index((2, 2))
+        p01 = topo.route_axis_order(a, b, (0, 1))
+        p10 = topo.route_axis_order(a, b, (1, 0))
+        assert p01 != p10
+        assert len(p01) == len(p10)

@@ -1,0 +1,66 @@
+"""Tests for MatrixTopology (explicit-distance machines)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.mapping import TopoLB
+from repro.taskgraph import mesh2d_pattern
+from repro.topology import MatrixTopology, Torus
+
+
+class TestMatrixTopology:
+    def test_wraps_matrix(self):
+        mat = np.array([[0.0, 1.5, 2.0], [1.5, 0.0, 1.0], [2.0, 1.0, 0.0]])
+        topo = MatrixTopology(mat)
+        assert topo.num_nodes == 3
+        assert topo.distance(0, 1) == 1.5
+        assert (topo.distance_row(2) == [2.0, 1.0, 0.0]).all()
+
+    def test_distance_matrix_preserves_floats(self):
+        mat = np.array([[0.0, 0.5], [0.5, 0.0]])
+        topo = MatrixTopology(mat)
+        assert topo.distance_matrix()[0, 1] == 0.5
+
+    def test_neighbors_are_closest(self):
+        mat = np.array([[0.0, 1.0, 3.0], [1.0, 0.0, 1.0], [3.0, 1.0, 0.0]])
+        topo = MatrixTopology(mat)
+        assert topo.neighbors(0) == [1]
+        assert sorted(topo.neighbors(1)) == [0, 2]
+
+    def test_route_raises(self):
+        topo = MatrixTopology(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(TopologyError, match="metric-only"):
+            topo.route(0, 1)
+
+    def test_validation(self):
+        with pytest.raises(TopologyError, match="square"):
+            MatrixTopology(np.zeros((2, 3)))
+        with pytest.raises(TopologyError, match="symmetric"):
+            MatrixTopology(np.array([[0.0, 1.0], [2.0, 0.0]]))
+        with pytest.raises(TopologyError, match="diagonal"):
+            MatrixTopology(np.array([[1.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(TopologyError, match="non-negative"):
+            MatrixTopology(np.array([[0.0, -1.0], [-1.0, 0.0]]))
+        with pytest.raises(TopologyError, match="positive distance"):
+            MatrixTopology(np.array([[0.0, 0.0], [0.0, 0.0]]))
+
+    def test_readonly(self):
+        topo = MatrixTopology(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(ValueError):
+            topo.distance_matrix()[0, 1] = 9.0
+
+    def test_mapping_on_matrix_machine(self):
+        """A matrix copy of a torus behaves identically for the mapper."""
+        torus = Torus((4, 4))
+        twin = MatrixTopology(torus.distance_matrix().astype(float))
+        g = mesh2d_pattern(4, 4)
+        hpb_real = TopoLB().map(g, torus).hops_per_byte
+        hpb_twin = TopoLB().map(g, twin).hops_per_byte
+        assert hpb_twin == pytest.approx(hpb_real)
+
+    def test_single_node(self):
+        topo = MatrixTopology(np.zeros((1, 1)))
+        assert topo.neighbors(0) == []

@@ -1,0 +1,172 @@
+"""Tests for hypercube, fat-tree and arbitrary-graph topologies."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology import ArbitraryTopology, FatTree, Hypercube
+
+
+class TestHypercube:
+    def test_sizes(self):
+        assert Hypercube(0).num_nodes == 1
+        assert Hypercube(5).num_nodes == 32
+
+    def test_distance_is_hamming(self):
+        cube = Hypercube(4)
+        assert cube.distance(0b0000, 0b1111) == 4
+        assert cube.distance(0b1010, 0b1001) == 2
+        assert cube.distance(3, 3) == 0
+
+    def test_distance_row_matches_scalar(self):
+        cube = Hypercube(5)
+        row = cube.distance_row(13)
+        for other in range(32):
+            assert row[other] == bin(13 ^ other).count("1")
+
+    def test_neighbors(self):
+        cube = Hypercube(3)
+        assert sorted(cube.neighbors(0)) == [1, 2, 4]
+        assert all(cube.degree(v) == 3 for v in range(8))
+
+    def test_route_is_minimal_valid(self):
+        cube = Hypercube(6)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            a, b = (int(x) for x in rng.integers(0, 64, size=2))
+            path = cube.route(a, b)
+            assert path[0] == a and path[-1] == b
+            assert len(path) - 1 == cube.distance(a, b)
+            for u, v in zip(path, path[1:]):
+                assert bin(u ^ v).count("1") == 1
+
+    def test_diameter_and_expectation(self):
+        cube = Hypercube(7)
+        assert cube.diameter() == 7
+        assert cube.expected_random_distance() == pytest.approx(3.5)
+
+    def test_axioms(self):
+        Hypercube(5).validate_distance_axioms()
+
+    def test_bad_dim(self):
+        with pytest.raises(TopologyError):
+            Hypercube(-1)
+        with pytest.raises(TopologyError):
+            Hypercube(25)
+
+
+class TestFatTree:
+    def test_sizes(self):
+        assert FatTree(4, 3).num_nodes == 64
+        assert FatTree(2, 1).num_nodes == 2
+
+    def test_distance_structure(self):
+        ft = FatTree(2, 3)  # 8 processors
+        assert ft.distance(0, 1) == 2  # same leaf switch
+        assert ft.distance(0, 2) == 4  # one level up
+        assert ft.distance(0, 4) == 6  # via the root
+        assert ft.distance(5, 5) == 0
+
+    def test_distance_row_symmetry(self):
+        ft = FatTree(3, 2)
+        mat = ft.distance_matrix()
+        assert (mat == mat.T).all()
+
+    def test_neighbors_share_leaf_switch(self):
+        ft = FatTree(4, 2)
+        assert sorted(ft.neighbors(5)) == [4, 6, 7]
+
+    def test_route_raises(self):
+        with pytest.raises(TopologyError, match="indirect"):
+            FatTree(2, 2).route(0, 3)
+        with pytest.raises(TopologyError):
+            FatTree(2, 2).links()
+
+    def test_diameter(self):
+        assert FatTree(2, 3).diameter() == 6
+
+    def test_expected_distance_matches_bruteforce(self):
+        ft = FatTree(3, 2)
+        assert ft.expected_random_distance() == pytest.approx(ft.distance_matrix().mean())
+
+    def test_nearly_uniform_distance(self):
+        # The paper's point: fat-tree distances barely vary, so mapping
+        # matters far less than on a torus.
+        ft = FatTree(4, 3)
+        mat = ft.distance_matrix().astype(float)
+        off_diag = mat[~np.eye(len(mat), dtype=bool)]
+        assert off_diag.std() / off_diag.mean() < 0.35
+
+    def test_bad_params(self):
+        with pytest.raises(TopologyError):
+            FatTree(1, 2)
+        with pytest.raises(TopologyError):
+            FatTree(2, 0)
+
+
+class TestArbitraryTopology:
+    def test_path_graph(self):
+        topo = ArbitraryTopology(4, [(0, 1), (1, 2), (2, 3)])
+        assert topo.distance(0, 3) == 3
+        assert topo.route(0, 3) == [0, 1, 2, 3]
+        assert topo.num_links() == 3
+
+    def test_duplicate_and_reversed_edges_merge(self):
+        topo = ArbitraryTopology(3, [(0, 1), (1, 0), (1, 2), (1, 2)])
+        assert topo.num_links() == 2
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(TopologyError, match="disconnected"):
+            ArbitraryTopology(4, [(0, 1), (2, 3)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            ArbitraryTopology(2, [(0, 0)])
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(TopologyError):
+            ArbitraryTopology(2, [(0, 5)])
+
+    def test_from_networkx(self):
+        g = nx.cycle_graph(6)
+        topo = ArbitraryTopology.from_networkx(g)
+        assert topo.distance(0, 3) == 3
+        assert topo.distance(0, 5) == 1
+
+    def test_from_networkx_bad_labels(self):
+        g = nx.Graph()
+        g.add_edge("a", "b")
+        with pytest.raises(TopologyError):
+            ArbitraryTopology.from_networkx(g)
+
+    def test_matches_networkx_shortest_paths(self):
+        g = nx.random_regular_graph(3, 16, seed=4)
+        topo = ArbitraryTopology.from_networkx(g)
+        lengths = dict(nx.all_pairs_shortest_path_length(g))
+        for a in range(16):
+            row = topo.distance_row(a)
+            for b in range(16):
+                assert row[b] == lengths[a][b]
+
+    def test_route_valid_and_minimal(self):
+        g = nx.petersen_graph()
+        topo = ArbitraryTopology.from_networkx(g)
+        for a in range(10):
+            for b in range(10):
+                path = topo.route(a, b)
+                assert path[0] == a and path[-1] == b
+                assert len(path) - 1 == topo.distance(a, b)
+                for u, v in zip(path, path[1:]):
+                    assert g.has_edge(u, v)
+
+    def test_axioms(self):
+        topo = ArbitraryTopology.from_networkx(nx.petersen_graph())
+        topo.validate_distance_axioms()
+
+    def test_single_node(self):
+        topo = ArbitraryTopology(1, [])
+        assert topo.distance(0, 0) == 0
+        assert topo.route(0, 0) == [0]

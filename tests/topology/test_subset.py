@@ -1,0 +1,82 @@
+"""Tests for the SubTopology (machine allocation) view."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.mapping import TopoLB
+from repro.taskgraph import mesh2d_pattern
+from repro.topology import Mesh, SubTopology, Torus
+
+
+class TestSubTopology:
+    def test_distances_come_from_parent(self):
+        parent = Mesh((4, 4))
+        # Take a sparse diagonal: distances must be parent distances.
+        nodes = [parent.index((i, i)) for i in range(4)]
+        sub = SubTopology(parent, nodes)
+        assert sub.num_nodes == 4
+        assert sub.distance(0, 3) == parent.distance(nodes[0], nodes[3]) == 6
+        assert sub.distance(1, 2) == 2
+
+    def test_distance_row_matches_scalar(self):
+        parent = Torus((4, 4))
+        sub = SubTopology(parent, [0, 5, 10, 15, 3])
+        for a in range(5):
+            row = sub.distance_row(a)
+            for b in range(5):
+                assert row[b] == sub.distance(a, b)
+
+    def test_id_translation(self):
+        parent = Mesh((3, 3))
+        sub = SubTopology(parent, [4, 7, 2])
+        assert sub.to_parent(0) == 4
+        assert sub.from_parent(7) == 1
+        with pytest.raises(KeyError):
+            sub.from_parent(0)
+
+    def test_neighbors_restricted(self):
+        parent = Mesh((3, 3))
+        # Block: the left 3x2 sub-rectangle.
+        nodes = [parent.index((r, c)) for r in range(3) for c in range(2)]
+        sub = SubTopology(parent, nodes)
+        # local 0 = (0,0): parent nbrs (0,1) and (1,0) are both in subset
+        assert sorted(sub.to_parent(v) for v in sub.neighbors(0)) == sorted(
+            [parent.index((0, 1)), parent.index((1, 0))]
+        )
+
+    def test_sparse_subset_may_have_no_neighbors(self):
+        parent = Mesh((4, 4))
+        sub = SubTopology(parent, [0, 15])
+        assert sub.neighbors(0) == []
+        assert sub.distance(0, 1) == 6
+
+    def test_route_raises(self):
+        sub = SubTopology(Mesh((2, 2)), [0, 3])
+        with pytest.raises(TopologyError, match="metric-only"):
+            sub.route(0, 1)
+
+    def test_validation(self):
+        parent = Mesh((2, 2))
+        with pytest.raises(TopologyError):
+            SubTopology(parent, [])
+        with pytest.raises(TopologyError):
+            SubTopology(parent, [0, 0])
+        with pytest.raises(TopologyError):
+            SubTopology(parent, [0, 9])
+
+    def test_mapping_onto_allocation(self):
+        """The use case: map a job onto a compact corner of a big machine."""
+        machine = Torus((8, 8))
+        corner = [machine.index((r, c)) for r in range(4) for c in range(4)]
+        allocation = SubTopology(machine, corner)
+        job = mesh2d_pattern(4, 4)
+        mapping = TopoLB().map(job, allocation)
+        assert mapping.hops_per_byte == pytest.approx(1.0)
+
+    def test_axioms(self):
+        parent = Torus((4, 4))
+        sub = SubTopology(parent, list(range(0, 16, 2)))
+        sub.validate_distance_axioms()

@@ -1,0 +1,64 @@
+"""Property-based tests over randomly shaped grid topologies."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import Mesh, Torus
+
+shapes = st.lists(st.integers(1, 6), min_size=1, max_size=3).map(tuple).filter(
+    lambda s: 2 <= int(np.prod(s)) <= 80
+)
+
+
+@given(shapes, st.booleans(), st.integers(0, 10_000))
+@settings(max_examples=60, deadline=None)
+def test_metric_axioms(shape, wrap, seed):
+    topo = (Torus if wrap else Mesh)(shape)
+    rng = np.random.default_rng(seed)
+    a, b, c = (int(x) for x in rng.integers(0, topo.num_nodes, size=3))
+    assert topo.distance(a, a) == 0
+    assert topo.distance(a, b) == topo.distance(b, a)
+    assert topo.distance(a, b) <= topo.distance(a, c) + topo.distance(c, b)
+
+
+@given(shapes, st.booleans(), st.integers(0, 10_000))
+@settings(max_examples=60, deadline=None)
+def test_route_length_equals_distance(shape, wrap, seed):
+    topo = (Torus if wrap else Mesh)(shape)
+    rng = np.random.default_rng(seed)
+    a, b = (int(x) for x in rng.integers(0, topo.num_nodes, size=2))
+    path = topo.route(a, b)
+    assert path[0] == a and path[-1] == b
+    assert len(path) - 1 == topo.distance(a, b)
+    # Consecutive path nodes must be directly linked.
+    for u, v in zip(path, path[1:]):
+        assert v in topo.neighbors(u)
+
+
+@given(shapes, st.booleans())
+@settings(max_examples=40, deadline=None)
+def test_distance_row_consistent_with_matrix(shape, wrap):
+    topo = (Torus if wrap else Mesh)(shape)
+    mat = topo.distance_matrix()
+    for node in range(0, topo.num_nodes, max(1, topo.num_nodes // 5)):
+        assert (mat[node] == topo.distance_row(node)).all()
+
+
+@given(shapes)
+@settings(max_examples=40, deadline=None)
+def test_torus_dominates_mesh(shape):
+    mesh, torus = Mesh(shape), Torus(shape)
+    assert (torus.distance_matrix() <= mesh.distance_matrix()).all()
+    assert torus.diameter() <= mesh.diameter()
+
+
+@given(shapes, st.booleans())
+@settings(max_examples=30, deadline=None)
+def test_neighbor_symmetry(shape, wrap):
+    topo = (Torus if wrap else Mesh)(shape)
+    for node in range(topo.num_nodes):
+        for nbr in topo.neighbors(node):
+            assert node in topo.neighbors(nbr)

@@ -1,0 +1,136 @@
+"""Unit + property tests for the addressable heaps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.priority_queue import AddressableMaxHeap, AddressableMinHeap
+
+
+class TestMinHeapBasics:
+    def test_empty_heap(self):
+        heap = AddressableMinHeap()
+        assert len(heap) == 0
+        with pytest.raises(IndexError):
+            heap.pop()
+        with pytest.raises(IndexError):
+            heap.peek()
+
+    def test_push_pop_single(self):
+        heap = AddressableMinHeap()
+        heap.push("a", 3.0)
+        assert heap.peek() == ("a", 3.0)
+        assert heap.pop() == ("a", 3.0)
+        assert len(heap) == 0
+
+    def test_pop_order_is_ascending(self):
+        heap = AddressableMinHeap()
+        for item, key in [("a", 5), ("b", 1), ("c", 3), ("d", 2), ("e", 4)]:
+            heap.push(item, key)
+        popped = [heap.pop()[1] for _ in range(len(heap))]
+        assert popped == sorted(popped)
+
+    def test_constructor_heapifies(self):
+        heap = AddressableMinHeap([(i, -i) for i in range(20)])
+        assert heap.pop() == (19, -19)
+
+    def test_duplicate_push_rejected(self):
+        heap = AddressableMinHeap([("x", 1.0)])
+        with pytest.raises(ValueError):
+            heap.push("x", 2.0)
+
+    def test_contains_and_key(self):
+        heap = AddressableMinHeap([("x", 1.0)])
+        assert "x" in heap
+        assert "y" not in heap
+        assert heap.key("x") == 1.0
+
+    def test_update_decrease(self):
+        heap = AddressableMinHeap([("a", 5.0), ("b", 1.0)])
+        heap.update("a", 0.5)
+        assert heap.pop()[0] == "a"
+
+    def test_update_increase(self):
+        heap = AddressableMinHeap([("a", 1.0), ("b", 5.0)])
+        heap.update("a", 10.0)
+        assert heap.pop()[0] == "b"
+
+    def test_remove_middle(self):
+        heap = AddressableMinHeap([(i, i) for i in range(10)])
+        assert heap.remove(4) == 4
+        popped = [heap.pop()[0] for _ in range(len(heap))]
+        assert popped == [0, 1, 2, 3, 5, 6, 7, 8, 9]
+
+    def test_remove_last(self):
+        heap = AddressableMinHeap([(0, 0.0), (1, 1.0)])
+        heap.remove(1)
+        assert heap.pop() == (0, 0.0)
+
+    def test_tie_break_smallest_item_first(self):
+        heap = AddressableMinHeap([(i, 7.0) for i in (5, 2, 9, 0)])
+        assert [heap.pop()[0] for _ in range(4)] == [0, 2, 5, 9]
+
+
+class TestMaxHeap:
+    def test_pop_order_is_descending(self):
+        heap = AddressableMaxHeap([(i, k) for i, k in enumerate([3, 9, 1, 7])])
+        popped = [heap.pop()[1] for _ in range(len(heap))]
+        assert popped == sorted(popped, reverse=True)
+
+    def test_tie_break_smallest_item_first(self):
+        heap = AddressableMaxHeap([(i, 1.0) for i in (3, 1, 2)])
+        assert [heap.pop()[0] for _ in range(3)] == [1, 2, 3]
+
+    def test_update_to_max(self):
+        heap = AddressableMaxHeap([("a", 1.0), ("b", 2.0)])
+        heap.update("a", 99.0)
+        assert heap.pop()[0] == "a"
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False, width=32), max_size=200))
+@settings(max_examples=60)
+def test_property_min_heap_sorts(keys):
+    heap = AddressableMinHeap(list(enumerate(keys)))
+    popped = [heap.pop()[1] for _ in range(len(keys))]
+    assert popped == sorted(keys)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 30), st.floats(0, 100, allow_nan=False)),
+        max_size=120,
+    )
+)
+@settings(max_examples=60)
+def test_property_mixed_operations_match_reference(ops):
+    """Random push/update/pop sequence agrees with a dict + sort reference."""
+    heap = AddressableMinHeap()
+    ref: dict[int, float] = {}
+    for item, key in ops:
+        if item in ref:
+            heap.update(item, key)
+            ref[item] = key
+        else:
+            heap.push(item, key)
+            ref[item] = key
+    out = []
+    while len(heap):
+        item, key = heap.pop()
+        assert ref.pop(item) == key
+        out.append(key)
+    assert out == sorted(out)
+    assert not ref
+
+
+@given(st.permutations(list(range(25))))
+@settings(max_examples=40)
+def test_property_remove_keeps_invariant(perm):
+    heap = AddressableMinHeap([(i, float(k)) for i, k in enumerate(perm)])
+    removed = perm[:10]
+    for item, _ in enumerate(removed):
+        heap.remove(item)
+    popped = [heap.pop()[1] for _ in range(len(heap))]
+    assert popped == sorted(popped)

@@ -1,0 +1,73 @@
+"""Tests for the disjoint-set forest."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.union_find import UnionFind
+
+
+class TestUnionFind:
+    def test_initial_state(self):
+        uf = UnionFind(5)
+        assert len(uf) == 5
+        assert uf.num_components == 5
+        for i in range(5):
+            assert uf.find(i) == i
+            assert uf.component_size(i) == 1
+
+    def test_union_merges(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert not uf.connected(0, 2)
+        assert uf.num_components == 3
+        assert uf.component_size(1) == 2
+
+    def test_union_idempotent(self):
+        uf = UnionFind(3)
+        assert uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.num_components == 2
+
+    def test_chain_collapses(self):
+        uf = UnionFind(10)
+        for i in range(9):
+            uf.union(i, i + 1)
+        assert uf.num_components == 1
+        assert uf.component_size(5) == 10
+        assert uf.connected(0, 9)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_zero_elements(self):
+        uf = UnionFind(0)
+        assert len(uf) == 0
+        assert uf.num_components == 0
+
+
+@given(st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=60))
+@settings(max_examples=50)
+def test_property_matches_naive_partition(pairs):
+    """UnionFind agrees with a naive set-merging reference."""
+    uf = UnionFind(20)
+    ref = [{i} for i in range(20)]
+    lookup = list(range(20))
+
+    for a, b in pairs:
+        uf.union(a, b)
+        ra, rb = lookup[a], lookup[b]
+        if ra != rb:
+            ref[ra] |= ref[rb]
+            for x in ref[rb]:
+                lookup[x] = ra
+            ref[rb] = set()
+
+    for a in range(20):
+        for b in range(20):
+            assert uf.connected(a, b) == (lookup[a] == lookup[b])
+    assert uf.num_components == sum(1 for s in ref if s)
