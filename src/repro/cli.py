@@ -10,7 +10,15 @@ Examples::
     repro-map --taskgraph app.json --topology torus:8x8 --strategy TopoLB
     repro-map --taskgraph dump.json --lb-dump --topology mesh:4x4x4 \
               --strategy RefineTopoLB --output placement.json
+    repro-map --taskgraph app.json --topology torus:8x8 --profile prof.json
+    repro-map --stats prof.json
     repro-map --list-strategies
+
+``--profile`` records per-phase wall times, mapper repair counters, and —
+via a short network-simulator replay of the produced placement — per-link
+load summaries, all written as a schema-validated ``repro-profile-v1``
+artifact (see ``docs/OBSERVABILITY.md``). ``--stats`` renders such an
+artifact as a human-readable report.
 """
 
 from __future__ import annotations
@@ -40,6 +48,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="RNG seed")
     parser.add_argument("--output", type=Path,
                         help="write placement JSON here (default: stdout report only)")
+    parser.add_argument("--profile", type=Path,
+                        help="record telemetry and write a repro-profile-v1 JSON here")
+    parser.add_argument("--simulate-iters", type=int, default=None,
+                        help="replay N Jacobi-style iterations through the network "
+                             "simulator (default: 1 when --profile is set, else 0)")
+    parser.add_argument("--stats", type=Path, metavar="PROFILE",
+                        help="summarize an existing profile JSON and exit")
     parser.add_argument("--list-strategies", action="store_true",
                         help="print registered strategy names and exit")
     return parser
@@ -57,13 +72,30 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
 
+    if args.stats is not None:
+        from repro.obs import load_profile, summarize_profile
+
+        try:
+            print(summarize_profile(load_profile(args.stats)))
+        except BrokenPipeError:  # e.g. `repro-map --stats ... | head`
+            sys.stderr.close()
+            return 0
+        except (ReproError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        return 0
+
     if not args.taskgraph or not args.topology:
-        parser.error("--taskgraph and --topology are required (or --list-strategies)")
+        parser.error("--taskgraph and --topology are required "
+                     "(or --list-strategies / --stats)")
+    if args.simulate_iters is not None and args.simulate_iters < 0:
+        parser.error("--simulate-iters must be >= 0")
 
     try:
         report = run_mapping(
             args.taskgraph, args.lb_dump, args.topology, args.strategy,
-            args.seed, args.output,
+            args.seed, args.output, profile=args.profile,
+            simulate_iters=args.simulate_iters,
         )
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -77,28 +109,85 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def run_mapping(graph_path: Path, is_lb_dump: bool, topology_spec: str,
-                strategy: str, seed: int, output: Path | None) -> dict:
-    """Load inputs, run the strategy, optionally write the placement."""
+                strategy: str, seed: int, output: Path | None,
+                profile: Path | None = None,
+                simulate_iters: int | None = None) -> dict:
+    """Load inputs, run the strategy, optionally replay/profile/write."""
+    from repro import obs
     from repro.runtime.lbdb import LBDatabase
-    from repro.runtime.simulation import simulate_strategy
-    from repro.runtime.strategies import run_strategy
+    from repro.runtime.simulation import replay_strategy
     from repro.taskgraph.io import load_taskgraph
     from repro.topology.factory import topology_from_spec
 
-    if is_lb_dump:
-        database = LBDatabase.load(graph_path)
-    else:
-        database = LBDatabase.from_taskgraph(load_taskgraph(graph_path))
-    topology = topology_from_spec(topology_spec)
+    if simulate_iters is None:
+        simulate_iters = 1 if profile is not None else 0
 
-    report = simulate_strategy(database, topology, strategy, seed=seed)
-    if output is not None:
-        placement = run_strategy(strategy, database, topology, seed=seed)
-        output.write_text(json.dumps({
-            "format": "repro-placement-v1",
-            "strategy": strategy,
-            "topology": topology_spec,
-            "placement": placement.tolist(),
-        }))
-        report["placement_written"] = str(output)
+    prof = obs.enable() if profile is not None else None
+    try:
+        with obs.timer("cli.load"):
+            if is_lb_dump:
+                database = LBDatabase.load(graph_path)
+            else:
+                database = LBDatabase.from_taskgraph(load_taskgraph(graph_path))
+            topology = topology_from_spec(topology_spec)
+
+        with obs.timer("cli.map"):
+            report, mapping = replay_strategy(database, topology, strategy, seed=seed)
+
+        netsim_summary = None
+        if simulate_iters > 0:
+            netsim_summary = _replay_network(mapping, report, simulate_iters)
+
+        if output is not None:
+            output.write_text(json.dumps({
+                "format": "repro-placement-v1",
+                "strategy": strategy,
+                "topology": topology_spec,
+                "placement": mapping.assignment.tolist(),
+            }))
+            report["placement_written"] = str(output)
+
+        if prof is not None:
+            doc = obs.build_profile(
+                prof,
+                command=f"repro-map --strategy {strategy} --topology {topology_spec}",
+                context={
+                    "taskgraph": str(graph_path),
+                    "topology": topology_spec,
+                    "strategy": strategy,
+                    "seed": seed,
+                    "num_objects": report["num_objects"],
+                    "num_processors": report["num_processors"],
+                    "simulate_iters": simulate_iters,
+                },
+                netsim=netsim_summary,
+            )
+            obs.save_profile(doc, profile)
+            report["profile_written"] = str(profile)
+    finally:
+        if prof is not None:
+            obs.disable()
     return report
+
+
+def _replay_network(mapping, report: dict, iterations: int) -> dict:
+    """Replay the mapped app through the DES; extend ``report``, return the
+    per-link load summary for the profile's ``netsim`` section."""
+    from repro import obs
+    from repro.netsim.appsim import IterativeApplication
+    from repro.netsim.simulator import NetworkSimulator
+    from repro.netsim.stats import link_summary
+
+    with obs.timer("cli.simulate"):
+        sim = NetworkSimulator(mapping.topology)
+        app = IterativeApplication(mapping, sim, iterations=iterations)
+        result = app.run()
+    report["sim_iterations"] = iterations
+    report["sim_time_us"] = result.total_time
+    report["sim_mean_latency_us"] = result.mean_message_latency
+    report["sim_messages"] = result.messages_delivered
+    return link_summary(sim)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    raise SystemExit(main())

@@ -14,6 +14,7 @@ __all__ = [
     "MappingError",
     "SimulationError",
     "SpecError",
+    "ProfileError",
 ]
 
 
@@ -43,3 +44,7 @@ class SimulationError(ReproError):
 
 class SpecError(ReproError):
     """A textual spec string (e.g. ``"torus:8x8"``) could not be parsed."""
+
+
+class ProfileError(ReproError):
+    """A profile artifact failed schema validation or could not be read."""

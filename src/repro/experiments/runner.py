@@ -3,7 +3,10 @@
 Runs one (or all) of the paper-reproduction experiments and prints the
 table/series the paper reports. ``--full`` switches from the seconds-scale
 quick configurations to paper-scale sweeps; ``--json`` emits machine-
-readable output.
+readable output; ``--profile PATH`` records per-experiment wall times plus
+all mapper/netsim telemetry the run produced into a schema-validated
+``repro-profile-v1`` artifact — the machine-readable baseline the
+``BENCH_*.json`` trajectory consumes (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -11,6 +14,7 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Callable
+from pathlib import Path
 
 from repro.experiments import (
     fig01_02,
@@ -65,13 +69,35 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0, help="RNG seed")
     parser.add_argument("--json", action="store_true", help="JSON output")
+    parser.add_argument("--profile", type=Path,
+                        help="record telemetry and write a repro-profile-v1 JSON here")
     args = parser.parse_args(argv)
 
+    from repro import obs
+
     ids = list(PAPER_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for exp_id in ids:
-        result = EXPERIMENTS[exp_id](quick=not args.full, seed=args.seed)
-        print(result.to_json() if args.json else result.to_text())
-        print()
+    prof = obs.enable() if args.profile is not None else None
+    try:
+        for exp_id in ids:
+            with obs.timer(f"experiment.{exp_id}"):
+                result = EXPERIMENTS[exp_id](quick=not args.full, seed=args.seed)
+            print(result.to_json() if args.json else result.to_text())
+            print()
+        if prof is not None:
+            doc = obs.build_profile(
+                prof,
+                command="repro-experiments " + " ".join(ids),
+                context={
+                    "experiments": ids,
+                    "seed": args.seed,
+                    "quick": not args.full,
+                },
+            )
+            obs.save_profile(doc, args.profile)
+            print(f"profile written to {args.profile}", file=sys.stderr)
+    finally:
+        if prof is not None:
+            obs.disable()
     return 0
 
 

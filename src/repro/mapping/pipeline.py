@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.mapping.base import Mapper, Mapping
 from repro.mapping.refine import RefineTopoLB
 from repro.partition.base import Partitioner
@@ -75,12 +76,18 @@ class TwoPhaseMapper(Mapper):
             groups = np.arange(p)
             quotient = graph
         else:
-            groups = np.asarray(self._partitioner.partition(graph, p), dtype=np.int64)
-            quotient = coalesce(graph, groups, p)
+            with obs.timer("pipeline.partition"):
+                groups = np.asarray(
+                    self._partitioner.partition(graph, p), dtype=np.int64
+                )
+            with obs.timer("pipeline.coalesce"):
+                quotient = coalesce(graph, groups, p)
 
-        group_mapping = self._mapper.map(quotient, topology)
+        with obs.timer("pipeline.map"):
+            group_mapping = self._mapper.map(quotient, topology)
         if self._refiner is not None:
-            group_mapping = self._refiner.refine(group_mapping)
+            with obs.timer("pipeline.refine"):
+                group_mapping = self._refiner.refine(group_mapping)
 
         self._last_groups = groups
         self._last_group_mapping = group_mapping

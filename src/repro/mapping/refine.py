@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import MappingError
 from repro.mapping.base import Mapper, Mapping
 from repro.taskgraph.graph import TaskGraph
@@ -68,6 +69,13 @@ class RefineTopoLB(Mapper):
 
     def refine(self, mapping: Mapping) -> Mapping:
         """Return a refined copy of ``mapping`` (never worse in hop-bytes)."""
+        prof = obs.active()
+        if prof is None:
+            return self._refine(mapping)
+        with prof.timer("refine.refine"):
+            return self._refine(mapping, prof)
+
+    def _refine(self, mapping: Mapping, prof: obs.Profiler | None = None) -> Mapping:
         graph, topology = mapping.graph, mapping.topology
         n = self._check_sizes(graph, topology)
         if not mapping.is_bijection():
@@ -83,8 +91,11 @@ class RefineTopoLB(Mapper):
         cost = np.asarray(csr @ dist[assign])  # (n, p)
 
         ids = np.arange(n)
+        sweeps = evaluations = accepted = 0
         for _sweep in range(self._max_sweeps):
             swapped = False
+            if prof is not None:
+                sweeps += 1
             for a in rng.permutation(n):
                 a = int(a)
                 pa = assign[a]
@@ -100,12 +111,21 @@ class RefineTopoLB(Mapper):
                 delta[nbrs] += 2.0 * wts * dist[pa, assign[nbrs]]
                 delta[a] = 0.0
                 b = int(np.argmin(delta))
-                if delta[b] < -1e-9:
+                improved = delta[b] < -1e-9
+                if prof is not None:
+                    evaluations += 1
+                    if improved:
+                        accepted += 1
+                if improved:
                     self._apply_swap(a, b, assign, cost, dist, indptr, indices, weights)
                     swapped = True
             if not swapped:
                 break
 
+        if prof is not None:
+            prof.count("refine.sweeps", sweeps)
+            prof.count("refine.swaps_accepted", accepted)
+            prof.count("refine.swaps_rejected", evaluations - accepted)
         return mapping.with_assignment(assign)
 
     @staticmethod

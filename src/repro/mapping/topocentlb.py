@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.mapping.base import Mapper, Mapping
 from repro.taskgraph.graph import TaskGraph
 from repro.topology.base import Topology
@@ -28,6 +29,18 @@ class TopoCentLB(Mapper):
     strategy_name = "TopoCentLB"
 
     def map(self, graph: TaskGraph, topology: Topology) -> Mapping:
+        prof = obs.active()
+        if prof is None:
+            return self._run(graph, topology)
+        with prof.timer("topocentlb.map"):
+            return self._run(graph, topology, prof)
+
+    def _run(
+        self,
+        graph: TaskGraph,
+        topology: Topology,
+        prof: obs.Profiler | None = None,
+    ) -> Mapping:
         n = self._check_sizes(graph, topology)
         dist = topology.distance_matrix().astype(np.float64, copy=False)
         indptr, indices, weights = graph.csr_arrays()
@@ -51,6 +64,7 @@ class TopoCentLB(Mapper):
         heap = AddressableMaxHeap((t, tie_epsilon * volumes[t]) for t in range(n))
 
         anchor = -1  # processor of the first-placed task; compactness anchor
+        cycles = heap_updates = seed_placements = 0
         for _cycle in range(n):
             tk, _key = heap.pop()
             tk = int(tk)
@@ -81,6 +95,11 @@ class TopoCentLB(Mapper):
 
             assignment[tk] = pk
             avail[pk] = False
+            if prof is not None:
+                cycles += 1
+                heap_updates += int(len(nbrs) - np.count_nonzero(placed_mask))
+                if not placed_mask.any():
+                    seed_placements += 1
 
             # Bump the placed-communication keys of tk's unplaced neighbors.
             for j, c in zip(nbrs, wts):
@@ -88,4 +107,8 @@ class TopoCentLB(Mapper):
                 if assignment[j] < 0:
                     heap.update(j, heap.key(j) + float(c))
 
+        if prof is not None:
+            prof.count("topocentlb.cycles", cycles)
+            prof.count("topocentlb.heap_updates", heap_updates)
+            prof.count("topocentlb.seed_placements", seed_placements)
         return Mapping(graph, topology, assignment)

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import MappingError
 from repro.mapping.base import Mapper, Mapping
 from repro.mapping.estimation import EstimatorOrder, average_distance_vector
@@ -92,7 +93,12 @@ class TopoLB(Mapper):
 
     def map(self, graph: TaskGraph, topology: Topology) -> Mapping:
         n = self._check_sizes(graph, topology)
-        assignment = self._run(graph, topology, n)
+        prof = obs.active()
+        if prof is None:
+            assignment = self._run(graph, topology, n)
+        else:
+            with prof.timer("topolb.map"):
+                assignment = self._run(graph, topology, n, prof)
         return Mapping(graph, topology, assignment)
 
     # ------------------------------------------------------------------ core
@@ -103,7 +109,13 @@ class TopoLB(Mapper):
     #: sharing one argmin) from degrading every cycle to O(n p).
     _RESERVE = 8
 
-    def _run(self, graph: TaskGraph, topology: Topology, n: int) -> np.ndarray:
+    def _run(
+        self,
+        graph: TaskGraph,
+        topology: Topology,
+        n: int,
+        prof: obs.Profiler | None = None,
+    ) -> np.ndarray:
         dist = topology.distance_matrix().astype(self._dtype, copy=False)
         indptr, indices, weights = graph.csr_arrays()
 
@@ -158,6 +170,9 @@ class TopoLB(Mapper):
 
         static_volumes = graph.comm_volumes()
         neg_inf = -np.inf
+        # Lazy-repair telemetry (flushed to ``prof`` once, after the loop).
+        cycles = reserve_hits = reserve_exhaustions = 0
+        rows_rebuilt = neighbor_updates = 0
         for _cycle in range(n):
             # --- select the next task (default: max criticality gain) ------
             if self._selection == "gain":
@@ -172,6 +187,8 @@ class TopoLB(Mapper):
             unassigned[tk] = False
             avail[pk] = False
             avail_count -= 1
+            if prof is not None:
+                cycles += 1
             if avail_count == 0:
                 break
             penalty[pk] = huge
@@ -179,7 +196,8 @@ class TopoLB(Mapper):
             # --- processor pk leaves the free set --------------------------
             f_sum -= fest[:, pk]
             rescan: list[int] = []
-            for t in np.flatnonzero(unassigned & (f_argmin == pk)):
+            stale_rows = np.flatnonzero(unassigned & (f_argmin == pk))
+            for t in stale_rows:
                 t = int(t)
                 pos = int(res_pos[t]) + 1
                 while pos < reserve and not avail[res_ids[t, pos]]:
@@ -190,6 +208,9 @@ class TopoLB(Mapper):
                     f_argmin[t] = res_ids[t, pos]
                 else:
                     rescan.append(t)
+            if prof is not None:
+                reserve_exhaustions += len(rescan)
+                reserve_hits += len(stale_rows) - len(rescan)
 
             # --- neighbor rows: the (j, tk) edge cost becomes exact --------
             lo, hi = indptr[tk], indptr[tk + 1]
@@ -207,6 +228,8 @@ class TopoLB(Mapper):
                     fest[j] += c * (dist_pk - avg_free)
                 unplaced_comm[j] -= c
                 touched.append(j)
+            if prof is not None:
+                neighbor_updates += len(touched)
 
             if order is EstimatorOrder.THIRD:
                 # Free-processor average shrinks by pk's contribution; every
@@ -223,5 +246,13 @@ class TopoLB(Mapper):
             if len(dirty):
                 rebuild(dirty)
                 f_sum[dirty] = fest[dirty] @ avail.astype(self._dtype)
+            if prof is not None:
+                rows_rebuilt += len(dirty)
 
+        if prof is not None:
+            prof.count("topolb.cycles", cycles)
+            prof.count("topolb.reserve_hits", reserve_hits)
+            prof.count("topolb.reserve_exhaustions", reserve_exhaustions)
+            prof.count("topolb.rows_rebuilt", rows_rebuilt)
+            prof.count("topolb.neighbor_updates", neighbor_updates)
         return assignment

@@ -28,12 +28,20 @@ import enum
 from collections import deque
 from collections.abc import Callable
 
+from repro import obs
 from repro.exceptions import SimulationError
 from repro.netsim.eventqueue import EventQueue
 from repro.netsim.messages import Message, MessageStats
 from repro.topology.base import Topology
 
-__all__ = ["LinkModel", "RoutingPolicy", "NetworkSimulator"]
+__all__ = ["LinkModel", "RoutingPolicy", "NetworkSimulator", "channel_name"]
+
+
+def channel_name(channel: tuple) -> str:
+    """Stable printable name of a channel: ``"3->7"`` or ``"nic_out:3"``."""
+    if isinstance(channel[0], str):
+        return f"{channel[0]}:{channel[1]}"
+    return f"{channel[0]}->{channel[1]}"
 
 
 class LinkModel(enum.Enum):
@@ -64,13 +72,16 @@ class RoutingPolicy(enum.Enum):
 class _Link:
     """FIFO transmission state of one directed link."""
 
-    __slots__ = ("busy", "queue", "busy_time", "bytes_carried")
+    __slots__ = ("busy", "queue", "busy_time", "bytes_carried", "max_queue",
+                 "saturated")
 
     def __init__(self):
         self.busy = False
         self.queue: deque = deque()
         self.busy_time = 0.0      # accumulated occupancy, for utilization
         self.bytes_carried = 0.0  # payload bytes that crossed this link
+        self.max_queue = 0        # deepest FIFO backlog ever seen
+        self.saturated = False    # currently past the saturation threshold
 
 
 class NetworkSimulator:
@@ -89,6 +100,18 @@ class NetworkSimulator:
         Delivery latency of intra-processor messages (no links used).
     model:
         :class:`LinkModel`; virtual cut-through by default.
+    saturation_depth:
+        FIFO backlog at which a link counts as *saturated*: when a link's
+        queue first grows to this depth a ``netsim.link_saturated`` event is
+        recorded (profiling only; see below), cleared once the queue drains
+        empty.
+
+    The simulator snapshots :func:`repro.obs.active` at construction time:
+    enable profiling (``obs.enable()`` / ``obs.profiled()``) *before*
+    building the simulator to record message counters, per-link byte
+    timelines, queue depths, and saturation events. With profiling disabled
+    (the default) no telemetry code runs beyond one high-water-mark compare
+    per enqueue.
     """
 
     def __init__(
@@ -101,6 +124,7 @@ class NetworkSimulator:
         nic_bandwidth: float | None = None,
         routing: RoutingPolicy = RoutingPolicy.DOR,
         link_bandwidths: dict[tuple[int, int], float] | None = None,
+        saturation_depth: int = 8,
     ):
         if bandwidth <= 0:
             raise SimulationError(f"bandwidth must be positive, got {bandwidth}")
@@ -114,6 +138,10 @@ class NetworkSimulator:
             raise SimulationError(f"nic_bandwidth must be positive, got {nic_bandwidth}")
         if alpha < 0 or local_latency < 0:
             raise SimulationError("latencies must be non-negative")
+        if saturation_depth < 1:
+            raise SimulationError(
+                f"saturation_depth must be >= 1, got {saturation_depth}"
+            )
         self._topology = topology
         self._bandwidth = float(bandwidth)
         # Heterogeneous machines: per-directed-link overrides of the default
@@ -135,6 +163,8 @@ class NetworkSimulator:
         self._route_choices: dict[tuple[int, int], list[list[tuple]]] = {}
         self._next_id = 0
         self.stats = MessageStats()
+        self._saturation_depth = int(saturation_depth)
+        self._prof = obs.active()
 
     # ------------------------------------------------------------------ misc
     @property
@@ -248,6 +278,10 @@ class NetworkSimulator:
         send_time = self.queue.now if at is None else float(at)
         msg = Message(self._next_id, int(src), int(dst), float(size_bytes), send_time)
         self._next_id += 1
+        if self._prof is not None:
+            self._prof.count("netsim.messages")
+            if msg.src == msg.dst:
+                self._prof.count("netsim.local_messages")
 
         if msg.src == msg.dst:  # same processor: no network involved
             self.queue.schedule(
@@ -272,6 +306,21 @@ class NetworkSimulator:
         link = self._link(route[hop])
         if link.busy:
             link.queue.append((msg, route, hop, on_delivery))
+            depth = len(link.queue)
+            if depth > link.max_queue:
+                link.max_queue = depth
+            if self._prof is not None:
+                self._prof.count("netsim.enqueues")
+                self._prof.count_max("netsim.max_queue_depth", depth)
+                if depth >= self._saturation_depth and not link.saturated:
+                    link.saturated = True
+                    self._prof.count("netsim.saturation_events")
+                    self._prof.event(
+                        "netsim.link_saturated",
+                        time_us=self.queue.now,
+                        link=channel_name(route[hop]),
+                        depth=depth,
+                    )
         else:
             self._start_transmission(link, msg, route, hop, on_delivery)
 
@@ -288,6 +337,11 @@ class NetworkSimulator:
         link.busy = True
         link.busy_time += occupancy
         link.bytes_carried += msg.size_bytes
+        if self._prof is not None:
+            self._prof.count("netsim.transmissions")
+            self._prof.sample(
+                f"link_bytes:{channel_name(channel)}", now, link.bytes_carried
+            )
 
         # When does the head reach the next stage?
         if self._model is LinkModel.CUT_THROUGH:
@@ -310,17 +364,35 @@ class NetworkSimulator:
         if link.queue:
             msg, route, hop, on_delivery = link.queue.popleft()
             self._start_transmission(link, msg, route, hop, on_delivery)
+        else:
+            link.saturated = False
 
     def _deliver(self, msg: Message, on_delivery) -> None:
         msg.deliver_time = self.queue.now
         self.stats.record(msg)
+        if self._prof is not None:
+            self._prof.count("netsim.delivered")
         if on_delivery is not None:
             on_delivery(msg)
 
     # ------------------------------------------------------------------- run
     def run(self, max_events: int | None = None) -> float:
         """Drain the event queue; return the final simulation time."""
-        return self.queue.run(max_events)
+        end = self.queue.run(max_events)
+        if self._prof is not None and self._links:
+            # Per-run load summary so profiles capture link telemetry even
+            # when the caller never touches the simulator again (e.g. the
+            # experiment harnesses).
+            loads = [v.bytes_carried for v in self._links.values()]
+            self._prof.event(
+                "netsim.run_complete",
+                time_us=end,
+                links_used=len(self._links),
+                total_bytes=float(sum(loads)),
+                max_link_bytes=float(max(loads)),
+                max_queue_depth=int(max(v.max_queue for v in self._links.values())),
+            )
+        return end
 
     # ----------------------------------------------------------------- stats
     def link_busy_times(self) -> dict[tuple[int, int], float]:
@@ -330,3 +402,7 @@ class NetworkSimulator:
     def link_bytes(self) -> dict[tuple[int, int], float]:
         """Payload bytes carried per directed link."""
         return {k: v.bytes_carried for k, v in self._links.items()}
+
+    def link_queue_peaks(self) -> dict[tuple[int, int], int]:
+        """Deepest FIFO backlog each directed link ever accumulated."""
+        return {k: v.max_queue for k, v in self._links.items()}

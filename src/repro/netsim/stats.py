@@ -4,9 +4,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.netsim.simulator import NetworkSimulator
+from repro.netsim.simulator import NetworkSimulator, channel_name
 
-__all__ = ["summarize_latencies", "link_utilization"]
+__all__ = ["summarize_latencies", "link_utilization", "link_summary"]
 
 
 def summarize_latencies(sim: NetworkSimulator) -> dict[str, float]:
@@ -39,4 +39,51 @@ def link_utilization(sim: NetworkSimulator) -> dict[str, float]:
         "links_used": float(len(busy)),
         "mean": float(util.mean()),
         "max": float(util.max()),
+    }
+
+
+def link_summary(sim: NetworkSimulator, top: int = 10) -> dict:
+    """Per-link load summary in the shape of a profile's ``netsim`` section.
+
+    Aggregates bytes carried, occupancy, utilization, and peak queue depths
+    over every channel the simulation touched, plus the ``top`` hottest links
+    by bytes — the JSON-able payload ``repro-profile-v1`` embeds (see
+    :mod:`repro.obs.profile`).
+    """
+    bytes_by_link = sim.link_bytes()
+    busy_by_link = sim.link_busy_times()
+    peaks_by_link = sim.link_queue_peaks()
+    sim_time = float(sim.now)
+    if not bytes_by_link:
+        return {
+            "links_used": 0,
+            "total_bytes": 0.0,
+            "max_link_bytes": 0.0,
+            "mean_utilization": 0.0,
+            "max_utilization": 0.0,
+            "max_queue_depth": 0,
+            "sim_time_us": sim_time,
+            "top_links": [],
+        }
+    loads = np.asarray(list(bytes_by_link.values()), dtype=np.float64)
+    busy = np.asarray(list(busy_by_link.values()), dtype=np.float64)
+    util = busy / sim_time if sim_time > 0 else np.zeros_like(busy)
+    hottest = sorted(bytes_by_link, key=lambda k: (-bytes_by_link[k], str(k)))[:top]
+    return {
+        "links_used": len(bytes_by_link),
+        "total_bytes": float(loads.sum()),
+        "max_link_bytes": float(loads.max()),
+        "mean_utilization": float(util.mean()),
+        "max_utilization": float(util.max()),
+        "max_queue_depth": int(max(peaks_by_link.values())),
+        "sim_time_us": sim_time,
+        "top_links": [
+            {
+                "link": channel_name(link),
+                "bytes": float(bytes_by_link[link]),
+                "busy_us": float(busy_by_link[link]),
+                "max_queue_depth": int(peaks_by_link[link]),
+            }
+            for link in hottest
+        ],
     }

@@ -1,0 +1,265 @@
+"""Lightweight counters, phase timers, and event hooks for the hot layers.
+
+The contract every instrumented call site relies on:
+
+* **Disabled is free.** ``active()`` returns ``None`` unless a profiler has
+  been installed, so hot loops guard their accounting with a single
+  ``if prof is not None`` branch and allocate nothing. The module-level
+  convenience wrappers (:func:`count`, :func:`timer`, :func:`event`) degrade
+  to a dict lookup plus, for :func:`timer`, a shared no-op context manager —
+  no per-call objects are created on the disabled path.
+* **Everything is JSON-able.** :meth:`Profiler.snapshot` returns plain
+  dicts/lists/numbers, ready to drop into the ``repro-profile-v1`` artifact
+  (see :mod:`repro.obs.profile`).
+* **Memory is bounded.** Event logs are capped; time series decimate
+  themselves (keep every 2nd sample, double the stride) when full, so a
+  long netsim run cannot grow a profile without bound.
+
+The profiler is deliberately not thread-safe: every consumer in this
+repository is single-threaded, and a lock on the counter path would cost
+more than the counters themselves.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any
+
+__all__ = [
+    "Profiler",
+    "Series",
+    "active",
+    "enable",
+    "disable",
+    "profiled",
+    "count",
+    "timer",
+    "event",
+]
+
+
+class _NullContext:
+    """Shared no-op context manager handed out while profiling is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class _Timer:
+    """Context manager accumulating wall time under one timer name."""
+
+    __slots__ = ("_profiler", "_name", "_start")
+
+    def __init__(self, profiler: "Profiler", name: str):
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._profiler.add_time(self._name, time.perf_counter() - self._start)
+        return False
+
+
+class Series:
+    """Bounded ``(t, value)`` samples that halve their resolution when full.
+
+    Once ``max_samples`` points are stored, every second point is dropped and
+    the stride doubles: only every ``stride``-th :meth:`add` is recorded from
+    then on. The result approximates the full timeline at progressively
+    coarser resolution while never exceeding the cap.
+    """
+
+    __slots__ = ("samples", "stride", "max_samples", "_skip")
+
+    def __init__(self, max_samples: int = 512):
+        if max_samples < 2:
+            raise ValueError(f"max_samples must be >= 2, got {max_samples}")
+        self.samples: list[tuple[float, float]] = []
+        self.stride = 1
+        self.max_samples = int(max_samples)
+        self._skip = 0
+
+    def add(self, t: float, value: float) -> None:
+        if self._skip:
+            self._skip -= 1
+            return
+        self.samples.append((float(t), float(value)))
+        if len(self.samples) >= self.max_samples:
+            del self.samples[1::2]
+            self.stride *= 2
+        self._skip = self.stride - 1
+
+
+class Profiler:
+    """Collects counters, timers, events, and time series for one run.
+
+    Parameters
+    ----------
+    max_events:
+        Cap on stored events; later events are counted (``dropped_events``)
+        but not stored.
+    max_series_samples:
+        Per-series sample cap (see :class:`Series`).
+    """
+
+    def __init__(self, max_events: int = 1024, max_series_samples: int = 512):
+        self.counters: dict[str, float] = {}
+        self.timers: dict[str, list[float]] = {}  # name -> [total_seconds, count]
+        self.events: list[dict[str, Any]] = []
+        self.series: dict[str, Series] = {}
+        self.dropped_events = 0
+        self._max_events = int(max_events)
+        self._max_series_samples = int(max_series_samples)
+
+    # ------------------------------------------------------------- recording
+    def count(self, name: str, n: float = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def count_max(self, name: str, value: float) -> None:
+        """Raise counter ``name`` to ``value`` if it is larger (a high-water mark)."""
+        if value > self.counters.get(name, 0):
+            self.counters[name] = value
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` under timer ``name``."""
+        cell = self.timers.get(name)
+        if cell is None:
+            self.timers[name] = [seconds, 1]
+        else:
+            cell[0] += seconds
+            cell[1] += 1
+
+    def timer(self, name: str) -> _Timer:
+        """Context manager timing a phase: ``with prof.timer("phase"): ...``."""
+        return _Timer(self, name)
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Record one structured event (bounded; overflow is counted)."""
+        if len(self.events) >= self._max_events:
+            self.dropped_events += 1
+            return
+        self.events.append({"name": name, **fields})
+
+    def sample(self, name: str, t: float, value: float) -> None:
+        """Append ``(t, value)`` to time series ``name`` (bounded)."""
+        series = self.series.get(name)
+        if series is None:
+            series = self.series[name] = Series(self._max_series_samples)
+        series.add(t, value)
+
+    # ------------------------------------------------------------- reporting
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-JSON view of everything recorded so far."""
+        snap: dict[str, Any] = {
+            "counters": dict(self.counters),
+            "timers": {
+                name: {"total_s": total, "count": int(n)}
+                for name, (total, n) in self.timers.items()
+            },
+        }
+        if self.events or self.dropped_events:
+            snap["events"] = [dict(e) for e in self.events]
+            if self.dropped_events:
+                snap["dropped_events"] = self.dropped_events
+        if self.series:
+            snap["series"] = {
+                name: {
+                    "stride": s.stride,
+                    "samples": [[t, v] for t, v in s.samples],
+                }
+                for name, s in self.series.items()
+            }
+        return snap
+
+    def reset(self) -> None:
+        """Drop everything recorded so far."""
+        self.counters.clear()
+        self.timers.clear()
+        self.events.clear()
+        self.series.clear()
+        self.dropped_events = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Profiler counters={len(self.counters)} timers={len(self.timers)} "
+            f"events={len(self.events)} series={len(self.series)}>"
+        )
+
+
+#: The installed profiler, or None (profiling disabled — the default).
+_active: Profiler | None = None
+
+
+def active() -> Profiler | None:
+    """The currently installed profiler, or ``None`` when disabled.
+
+    Hot call sites fetch this once and guard with ``if prof is not None``.
+    """
+    return _active
+
+
+def enable(profiler: Profiler | None = None) -> Profiler:
+    """Install ``profiler`` (or a fresh one) as the active profiler."""
+    global _active
+    _active = profiler if profiler is not None else Profiler()
+    return _active
+
+
+def disable() -> Profiler | None:
+    """Uninstall the active profiler; returns it (with its data) or ``None``."""
+    global _active
+    previous = _active
+    _active = None
+    return previous
+
+
+@contextmanager
+def profiled(profiler: Profiler | None = None):
+    """Enable profiling for a block, restoring the previous state after::
+
+        with obs.profiled() as prof:
+            TopoLB().map(graph, topo)
+        print(prof.counters)
+    """
+    global _active
+    previous = _active
+    prof = enable(profiler)
+    try:
+        yield prof
+    finally:
+        _active = previous
+
+
+def count(name: str, n: float = 1) -> None:
+    """Module-level :meth:`Profiler.count`; no-op while disabled."""
+    prof = _active
+    if prof is not None:
+        prof.count(name, n)
+
+
+def timer(name: str):
+    """Module-level :meth:`Profiler.timer`; a shared no-op context while disabled."""
+    prof = _active
+    if prof is None:
+        return _NULL_CONTEXT
+    return prof.timer(name)
+
+
+def event(name: str, **fields: Any) -> None:
+    """Module-level :meth:`Profiler.event`; no-op while disabled."""
+    prof = _active
+    if prof is not None:
+        prof.event(name, **fields)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.mapping.base import Mapping
 from repro.mapping.metrics import (
     dilation_stats,
     hop_bytes,
@@ -22,7 +23,7 @@ from repro.runtime.lbdb import LBDatabase
 from repro.runtime.strategies import get_strategy
 from repro.topology.base import Topology
 
-__all__ = ["simulate_strategy", "compare_strategies"]
+__all__ = ["simulate_strategy", "replay_strategy", "compare_strategies"]
 
 
 def simulate_strategy(
@@ -37,6 +38,18 @@ def simulate_strategy(
     file. The report contains hop-bytes, hops-per-byte, load imbalance and
     dilation statistics of the placement the strategy produced.
     """
+    return replay_strategy(database, topology, strategy, seed)[0]
+
+
+def replay_strategy(
+    database: LBDatabase | str | Path,
+    topology: Topology,
+    strategy: str,
+    seed: int | None = None,
+) -> tuple[dict[str, float], Mapping]:
+    """Like :func:`simulate_strategy` but also returns the produced mapping,
+    so callers that need the placement (the CLI, the profiler's netsim
+    replay) run the strategy exactly once."""
     if not isinstance(database, LBDatabase):
         database = LBDatabase.load(database)
     graph = database.to_taskgraph()
@@ -61,7 +74,7 @@ def simulate_strategy(
     if group_mapping is not None:
         report["group_hops_per_byte"] = group_mapping.hops_per_byte
         report["group_hop_bytes"] = group_mapping.hop_bytes
-    return report
+    return report, mapping
 
 
 def compare_strategies(

@@ -46,3 +46,19 @@ class TestRunnerCli:
 
         monkeypatch.setattr(fig01_02, "QUICK_SIDES", (4,))
         assert runner.main(["fig1_2", "--seed", "7"]) == 0
+
+    def test_profile_flag_writes_artifact(self, tmp_path, capsys, monkeypatch):
+        from repro import obs
+        from repro.experiments import fig01_02
+
+        monkeypatch.setattr(fig01_02, "QUICK_SIDES", (4,))
+        prof_file = tmp_path / "prof.json"
+        assert runner.main(["fig1_2", "--profile", str(prof_file)]) == 0
+        assert "profile written" in capsys.readouterr().err
+
+        doc = obs.load_profile(prof_file)  # schema-validated
+        assert "experiment.fig1_2" in doc["timers"]
+        assert "topolb.map" in doc["timers"]
+        assert doc["counters"]["topolb.cycles"] > 0
+        assert doc["context"]["experiments"] == ["fig1_2"]
+        assert obs.active() is None  # runner restored the disabled state

@@ -1,0 +1,83 @@
+"""Determinism contracts of TopoLB.
+
+The stable tie-break documented at ``topolb.py`` (reserve ``rebuild`` uses a
+*stable* argsort, breaking fest-value ties by lowest processor id) is what
+makes the mapper reproducible: on symmetric instances huge tie classes arise
+and the tie-break decides the growth pattern. These tests pin down two
+consequences:
+
+* repeated runs of the same configured mapper give bit-identical placements;
+* the fest-table dtype (float32 vs float64) does not change the placement on
+  small symmetric instances for the first- and second-order estimators,
+  whose well-separated table values survive float32 rounding. (The
+  third-order estimator is excluded by design: its O(p^2) running-average
+  updates accumulate dtype-dependent rounding that can legitimately reorder
+  near-ties.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import EstimatorOrder, Mesh, TopoLB, Torus, mesh2d_pattern, ring_pattern
+
+#: Small symmetric instances: (task pattern, machine).
+_INSTANCES = [
+    pytest.param(mesh2d_pattern(4, 4, message_bytes=256), Torus((4, 4)),
+                 id="mesh4x4-on-torus4x4"),
+    pytest.param(mesh2d_pattern(4, 4, message_bytes=256), Mesh((4, 4)),
+                 id="mesh4x4-on-mesh4x4"),
+    pytest.param(mesh2d_pattern(3, 3, message_bytes=100), Mesh((3, 3)),
+                 id="mesh3x3-on-mesh3x3"),
+    pytest.param(ring_pattern(8, message_bytes=512), Torus((2, 4)),
+                 id="ring8-on-torus2x4"),
+]
+
+_DTYPE_ORDERS = [EstimatorOrder.FIRST, EstimatorOrder.SECOND]
+
+
+class TestDtypeInvariance:
+    @pytest.mark.parametrize("graph,topo", _INSTANCES)
+    @pytest.mark.parametrize("order", _DTYPE_ORDERS)
+    def test_float32_matches_float64(self, graph, topo, order):
+        a32 = TopoLB(order=order, dtype=np.float32).map(graph, topo).assignment
+        a64 = TopoLB(order=order, dtype=np.float64).map(graph, topo).assignment
+        assert (a32 == a64).all()
+
+    @pytest.mark.parametrize("order", _DTYPE_ORDERS)
+    def test_selection_rules_dtype_invariant(self, order):
+        graph, topo = mesh2d_pattern(4, 4, message_bytes=256), Torus((4, 4))
+        for selection in ("gain", "max_cost", "volume"):
+            a32 = TopoLB(order=order, dtype=np.float32, selection=selection)
+            a64 = TopoLB(order=order, dtype=np.float64, selection=selection)
+            assert (a32.map(graph, topo).assignment
+                    == a64.map(graph, topo).assignment).all()
+
+
+class TestRepeatedRuns:
+    @pytest.mark.parametrize("graph,topo", _INSTANCES)
+    def test_same_mapper_instance_is_deterministic(self, graph, topo):
+        mapper = TopoLB()
+        first = mapper.map(graph, topo).assignment
+        second = mapper.map(graph, topo).assignment
+        assert (first == second).all()
+
+    @pytest.mark.parametrize("order",
+                             [EstimatorOrder.FIRST, EstimatorOrder.SECOND,
+                              EstimatorOrder.THIRD])
+    def test_fresh_mapper_instances_agree(self, order):
+        graph, topo = mesh2d_pattern(4, 4, message_bytes=256), Torus((4, 4))
+        runs = [TopoLB(order=order).map(graph, topo).assignment for _ in range(3)]
+        assert (runs[0] == runs[1]).all()
+        assert (runs[0] == runs[2]).all()
+
+    def test_determinism_survives_profiling(self):
+        """Instrumentation must never perturb placement decisions."""
+        from repro import obs
+
+        graph, topo = mesh2d_pattern(4, 4, message_bytes=256), Torus((4, 4))
+        plain = TopoLB().map(graph, topo).assignment
+        with obs.profiled():
+            profiled = TopoLB().map(graph, topo).assignment
+        assert (plain == profiled).all()

@@ -19,7 +19,7 @@ from repro.mapping.metrics import (
     processor_loads,
 )
 from repro.taskgraph import TaskGraph, random_taskgraph
-from repro.topology import Mesh, Torus
+from repro.topology import ArbitraryTopology, Hypercube, Mesh, Torus
 
 
 class TestHopBytes:
@@ -151,6 +151,24 @@ class TestDilationHistogram:
         g = TaskGraph(3)
         assert dilation_histogram(g, Mesh((3,)), [0, 1, 2]) == {}
 
+    def test_keys_are_ints_on_hop_metric_machines(self, tiny_graph):
+        """Regression for the documented key-type contract: integral
+        distances produce ``int`` keys, never ``float`` ones."""
+        hist = dilation_histogram(tiny_graph, Mesh((4,)), [0, 1, 2, 3])
+        assert hist  # non-trivial instance
+        assert all(type(k) is int for k in hist)
+
+    def test_keys_mix_float_and_int_on_weighted_machines(self):
+        """On a weighted machine fractional distances keep float keys while
+        integral ones still collapse to int (1.5 + 1.5 == 3)."""
+        topo = ArbitraryTopology(3, [(0, 1, 1.5), (1, 2, 1.5)])
+        g = TaskGraph(3, [(0, 1, 10.0), (0, 2, 20.0)])
+        hist = dilation_histogram(g, topo, [0, 1, 2])
+        assert hist[1.5] == 10.0
+        assert hist[3] == 20.0
+        assert type([k for k in hist if k == 1.5][0]) is float
+        assert type([k for k in hist if k == 3][0]) is int
+
 
 class TestDilationAndLoads:
     def test_dilation_stats(self, tiny_graph):
@@ -205,3 +223,63 @@ def test_property_hop_bytes_scales_linearly_with_weights(seed):
     assert hop_bytes(scaled, topo, assign) == pytest.approx(
         3.5 * hop_bytes(g, topo, assign)
     )
+
+
+# --------------------------------------------------------------------------
+# Metric invariants over randomized graph x topology x assignment triples.
+# All machines here route minimally (Mesh/Torus dimension-ordered routes and
+# Hypercube bit-fixing routes have length == distance), which the link-load
+# conservation identity requires.
+_TOPOLOGIES = (
+    Mesh((8,)),
+    Mesh((4, 4)),
+    Mesh((2, 3, 3)),
+    Torus((4, 4)),
+    Torus((2, 3, 3)),
+    Hypercube(4),
+)
+
+
+@st.composite
+def _metric_instances(draw):
+    """(graph, topology, assignment) with many-to-one assignments allowed."""
+    topo = draw(st.sampled_from(_TOPOLOGIES))
+    n = draw(st.integers(2, 24))
+    seed = draw(st.integers(0, 2**31 - 1))
+    graph = random_taskgraph(n, edge_prob=0.35, seed=seed)
+    assignment = draw(
+        st.lists(st.integers(0, topo.num_nodes - 1), min_size=n, max_size=n)
+    )
+    return graph, topo, assignment
+
+
+@given(_metric_instances())
+@settings(max_examples=60, deadline=None)
+def test_property_per_task_additivity(instance):
+    """``per_task_hop_bytes(...).sum() / 2 == hop_bytes(...)`` always."""
+    graph, topo, assignment = instance
+    per_task = per_task_hop_bytes(graph, topo, assignment)
+    assert per_task.sum() / 2 == pytest.approx(hop_bytes(graph, topo, assignment))
+
+
+@given(_metric_instances())
+@settings(max_examples=60, deadline=None)
+def test_property_dilation_histogram_conserves_bytes(instance):
+    """Histogram values sum to total bytes; distance-weighted sum to hop-bytes."""
+    graph, topo, assignment = instance
+    hist = dilation_histogram(graph, topo, assignment)
+    assert sum(hist.values()) == pytest.approx(graph.total_bytes)
+    assert sum(d * b for d, b in hist.items()) == pytest.approx(
+        hop_bytes(graph, topo, assignment)
+    )
+
+
+@given(_metric_instances())
+@settings(max_examples=40, deadline=None)
+def test_property_link_loads_conserve_hop_bytes(instance):
+    """On minimal-routing machines every byte loads exactly d(u, v) links,
+    so summed per-link loads equal hop-bytes."""
+    graph, topo, assignment = instance
+    loads = per_link_loads(graph, topo, assignment)
+    assert sum(loads.values()) == pytest.approx(hop_bytes(graph, topo, assignment))
+    assert all(v > 0 for v in loads.values())

@@ -77,3 +77,75 @@ class TestReproMap:
                   "--strategy", "RandomLB", "--seed", "42", "--output", str(f)])
             outs.append(json.loads(f.read_text())["placement"])
         assert outs[0] == outs[1]
+
+
+class TestProfileAndStats:
+    def test_profile_writes_valid_artifact(self, graph_file, tmp_path, capsys):
+        from repro import obs
+
+        prof_file = tmp_path / "prof.json"
+        rc = main(["--taskgraph", str(graph_file), "--topology", "torus:4x4",
+                   "--strategy", "RefineTopoLB", "--profile", str(prof_file)])
+        assert rc == 0
+        assert "profile_written" in capsys.readouterr().out
+
+        doc = obs.load_profile(prof_file)  # validates against the schema
+        assert doc["format"] == "repro-profile-v1"
+        for timer in ("cli.load", "cli.map", "cli.simulate", "topolb.map"):
+            assert timer in doc["timers"], timer
+        assert doc["counters"]["topolb.cycles"] == 16
+        assert doc["context"]["strategy"] == "RefineTopoLB"
+        assert doc["context"]["num_objects"] == 16
+        # --profile defaults to one simulated iteration -> netsim section.
+        assert doc["netsim"]["links_used"] > 0
+        assert doc["netsim"]["top_links"]
+
+    def test_profile_without_simulation(self, graph_file, tmp_path, capsys):
+        prof_file = tmp_path / "prof.json"
+        rc = main(["--taskgraph", str(graph_file), "--topology", "torus:4x4",
+                   "--profile", str(prof_file), "--simulate-iters", "0"])
+        assert rc == 0
+        doc = json.loads(prof_file.read_text())
+        assert "netsim" not in doc
+        assert "sim_time_us" not in capsys.readouterr().out
+
+    def test_simulate_iters_without_profile(self, graph_file, capsys):
+        rc = main(["--taskgraph", str(graph_file), "--topology", "torus:4x4",
+                   "--simulate-iters", "2"])
+        assert rc == 0
+        assert "sim_time_us" in capsys.readouterr().out
+
+    def test_negative_simulate_iters_rejected(self, graph_file):
+        with pytest.raises(SystemExit):
+            main(["--taskgraph", str(graph_file), "--topology", "torus:4x4",
+                  "--simulate-iters", "-1"])
+
+    def test_profiling_disabled_after_run(self, graph_file, tmp_path):
+        from repro import obs
+
+        main(["--taskgraph", str(graph_file), "--topology", "torus:4x4",
+              "--profile", str(tmp_path / "prof.json")])
+        assert obs.active() is None
+
+    def test_stats_renders_profile(self, graph_file, tmp_path, capsys):
+        prof_file = tmp_path / "prof.json"
+        main(["--taskgraph", str(graph_file), "--topology", "torus:4x4",
+              "--profile", str(prof_file)])
+        capsys.readouterr()
+        assert main(["--stats", str(prof_file)]) == 0
+        out = capsys.readouterr().out
+        assert "phase wall times" in out
+        assert "topolb.cycles" in out
+        assert "hottest links" in out
+
+    def test_stats_missing_file(self, tmp_path, capsys):
+        rc = main(["--stats", str(tmp_path / "absent.json")])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_stats_rejects_invalid_profile(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format": "something-else"}))
+        rc = main(["--stats", str(bad)])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
