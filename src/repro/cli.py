@@ -46,6 +46,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--strategy", default="TopoLB",
                         help="strategy name (see --list-strategies)")
     parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    # Literal choices so building the parser stays import-light; validated
+    # again by set_default_kernel against repro.mapping.kernels.KERNELS.
+    parser.add_argument("--kernel", choices=("vectorized", "reference"),
+                        default=None,
+                        help="mapper kernel for this run (default: the "
+                             "process-wide default, i.e. vectorized)")
     parser.add_argument("--output", type=Path,
                         help="write placement JSON here (default: stdout report only)")
     parser.add_argument("--profile", type=Path,
@@ -95,7 +101,7 @@ def main(argv: list[str] | None = None) -> int:
         report = run_mapping(
             args.taskgraph, args.lb_dump, args.topology, args.strategy,
             args.seed, args.output, profile=args.profile,
-            simulate_iters=args.simulate_iters,
+            simulate_iters=args.simulate_iters, kernel=args.kernel,
         )
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -111,9 +117,15 @@ def main(argv: list[str] | None = None) -> int:
 def run_mapping(graph_path: Path, is_lb_dump: bool, topology_spec: str,
                 strategy: str, seed: int, output: Path | None,
                 profile: Path | None = None,
-                simulate_iters: int | None = None) -> dict:
+                simulate_iters: int | None = None,
+                kernel: str | None = None) -> dict:
     """Load inputs, run the strategy, optionally replay/profile/write."""
     from repro import obs
+    from repro.mapping.estimation import (
+        average_distance_vector,
+        centered_distance_matrix,
+    )
+    from repro.mapping.kernels import get_default_kernel, set_default_kernel
     from repro.runtime.lbdb import LBDatabase
     from repro.runtime.simulation import replay_strategy
     from repro.taskgraph.io import load_taskgraph
@@ -123,6 +135,7 @@ def run_mapping(graph_path: Path, is_lb_dump: bool, topology_spec: str,
         simulate_iters = 1 if profile is not None else 0
 
     prof = obs.enable() if profile is not None else None
+    prev_kernel = set_default_kernel(kernel) if kernel is not None else None
     try:
         with obs.timer("cli.load"):
             if is_lb_dump:
@@ -130,6 +143,11 @@ def run_mapping(graph_path: Path, is_lb_dump: bool, topology_spec: str,
             else:
                 database = LBDatabase.from_taskgraph(load_taskgraph(graph_path))
             topology = topology_from_spec(topology_spec)
+            # Building the machine model is part of loading it: warm the
+            # shared distance tables here so the mapper timers below measure
+            # mapping, not O(p^2) table construction.
+            average_distance_vector(topology)
+            centered_distance_matrix(topology)
 
         with obs.timer("cli.map"):
             report, mapping = replay_strategy(database, topology, strategy, seed=seed)
@@ -156,6 +174,7 @@ def run_mapping(graph_path: Path, is_lb_dump: bool, topology_spec: str,
                     "topology": topology_spec,
                     "strategy": strategy,
                     "seed": seed,
+                    "kernel": get_default_kernel(),
                     "num_objects": report["num_objects"],
                     "num_processors": report["num_processors"],
                     "simulate_iters": simulate_iters,
@@ -165,6 +184,8 @@ def run_mapping(graph_path: Path, is_lb_dump: bool, topology_spec: str,
             obs.save_profile(doc, profile)
             report["profile_written"] = str(profile)
     finally:
+        if prev_kernel is not None:
+            set_default_kernel(prev_kernel)
         if prof is not None:
             obs.disable()
     return report

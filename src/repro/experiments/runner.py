@@ -7,6 +7,13 @@ readable output; ``--profile PATH`` records per-experiment wall times plus
 all mapper/netsim telemetry the run produced into a schema-validated
 ``repro-profile-v1`` artifact — the machine-readable baseline the
 ``BENCH_*.json`` trajectory consumes (see ``docs/OBSERVABILITY.md``).
+
+``--jobs N`` fans independent experiments across a process pool. Each
+worker runs with its own profiler; the parent folds the per-worker
+snapshots into one artifact via :meth:`repro.obs.Profiler.merge`, so the
+profile a parallel run writes has the same schema (and, up to scheduling
+noise in the wall times, the same content) as a serial one. Reports are
+printed in submission order regardless of completion order.
 """
 
 from __future__ import annotations
@@ -52,6 +59,25 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
+def _run_one(exp_id: str, quick: bool, seed: int, profiled: bool):
+    """Worker body: run one experiment, return ``(result, snapshot | None)``.
+
+    Module-level (not a closure) so a process pool can ship it by name; the
+    experiment is looked up from :data:`EXPERIMENTS` inside the worker
+    because several registry entries are lambdas, which do not pickle.
+    """
+    from repro import obs
+
+    prof = obs.enable() if profiled else None
+    try:
+        with obs.timer(f"experiment.{exp_id}"):
+            result = EXPERIMENTS[exp_id](quick=quick, seed=seed)
+        return result, prof.snapshot() if prof is not None else None
+    finally:
+        if prof is not None:
+            obs.disable()
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -71,33 +97,61 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", action="store_true", help="JSON output")
     parser.add_argument("--profile", type=Path,
                         help="record telemetry and write a repro-profile-v1 JSON here")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run experiments in N worker processes (default: 1)")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     from repro import obs
 
     ids = list(PAPER_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    prof = obs.enable() if args.profile is not None else None
-    try:
-        for exp_id in ids:
-            with obs.timer(f"experiment.{exp_id}"):
-                result = EXPERIMENTS[exp_id](quick=not args.full, seed=args.seed)
+    quick = not args.full
+    prof = obs.Profiler() if args.profile is not None else None
+
+    if args.jobs > 1 and len(ids) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(args.jobs, len(ids))) as pool:
+            futures = {
+                exp_id: pool.submit(
+                    _run_one, exp_id, quick, args.seed, prof is not None
+                )
+                for exp_id in ids
+            }
+            outcomes = [futures[exp_id].result() for exp_id in ids]
+        for result, snap in outcomes:
             print(result.to_json() if args.json else result.to_text())
             print()
+            if prof is not None:
+                # Fold worker telemetry in submission order so the merged
+                # artifact is deterministic under any completion order.
+                prof.merge(snap)
+    else:
         if prof is not None:
-            doc = obs.build_profile(
-                prof,
-                command="repro-experiments " + " ".join(ids),
-                context={
-                    "experiments": ids,
-                    "seed": args.seed,
-                    "quick": not args.full,
-                },
-            )
-            obs.save_profile(doc, args.profile)
-            print(f"profile written to {args.profile}", file=sys.stderr)
-    finally:
-        if prof is not None:
-            obs.disable()
+            obs.enable(prof)
+        try:
+            for exp_id in ids:
+                result, _ = _run_one(exp_id, quick, args.seed, False)
+                print(result.to_json() if args.json else result.to_text())
+                print()
+        finally:
+            if prof is not None:
+                obs.disable()
+
+    if prof is not None:
+        doc = obs.build_profile(
+            prof,
+            command="repro-experiments " + " ".join(ids),
+            context={
+                "experiments": ids,
+                "seed": args.seed,
+                "quick": quick,
+                "jobs": args.jobs,
+            },
+        )
+        obs.save_profile(doc, args.profile)
+        print(f"profile written to {args.profile}", file=sys.stderr)
     return 0
 
 

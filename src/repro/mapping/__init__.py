@@ -35,6 +35,12 @@ from repro.mapping.metrics import (
     load_imbalance,
 )
 from repro.mapping.estimation import EstimatorOrder, average_distance_vector
+from repro.mapping.kernels import (
+    KERNELS,
+    DEFAULT_KERNEL,
+    get_default_kernel,
+    set_default_kernel,
+)
 from repro.mapping.topolb import TopoLB
 from repro.mapping.topocentlb import TopoCentLB
 from repro.mapping.refine import RefineTopoLB
@@ -62,6 +68,10 @@ __all__ = [
     "load_imbalance",
     "EstimatorOrder",
     "average_distance_vector",
+    "KERNELS",
+    "DEFAULT_KERNEL",
+    "get_default_kernel",
+    "set_default_kernel",
     "TopoLB",
     "TopoCentLB",
     "RefineTopoLB",

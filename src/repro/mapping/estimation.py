@@ -23,9 +23,10 @@ import enum
 
 import numpy as np
 
+from repro.topology import cache
 from repro.topology.base import Topology
 
-__all__ = ["EstimatorOrder", "average_distance_vector"]
+__all__ = ["EstimatorOrder", "average_distance_vector", "centered_distance_matrix"]
 
 
 class EstimatorOrder(enum.IntEnum):
@@ -46,11 +47,62 @@ def average_distance_vector(
     the mean to free processors — the third-order ``E_{j ~ U[Pk]} d(q, j)``.
     """
     p = topology.num_nodes
-    mat = topology.distance_matrix().astype(np.float64, copy=False)
-    if subset is None:
-        return mat.mean(axis=1)
-    mask = np.asarray(subset, dtype=bool)
-    count = int(mask.sum())
-    if count == 0:
-        return np.zeros(p, dtype=np.float64)
-    return mat[:, mask].sum(axis=1) / count
+    if subset is not None:
+        mat = topology.distance_matrix(np.float64)
+        mask = np.asarray(subset, dtype=bool)
+        count = int(mask.sum())
+        if count == 0:
+            return np.zeros(p, dtype=np.float64)
+        return mat[:, mask].sum(axis=1) / count
+
+    # The all-processors mean is a pure function of the topology shape, so it
+    # is cached on the instance (and shared across instances of shape-defined
+    # topologies) as a read-only vector — every TopoLB.map used to pay the
+    # full O(p^2) mean here.
+    vec = topology._avg_distance_vector
+    if vec is not None:
+        return vec
+    key = topology.cache_key()
+    skey = (key, "average_distance_vector") if key is not None else None
+    vec = cache.shared_get(skey) if skey is not None else None
+    if vec is None:
+        # Request float64 directly: hop distances are exact small integers in
+        # any float dtype, and the mappers want the float64 matrix anyway, so
+        # this shares one cached table instead of also building an int one.
+        vec = topology.distance_matrix(np.float64).mean(axis=1)
+        vec.flags.writeable = False
+        if skey is not None:
+            cache.shared_put(skey, vec)
+    topology._avg_distance_vector = vec
+    return vec
+
+
+def centered_distance_matrix(
+    topology: Topology, dtype: np.dtype | type = np.float64
+) -> np.ndarray:
+    """``centered[q, j] = d(q, j) - avg[j]`` in ``dtype``, cached per dtype.
+
+    The second-order estimator subtracts the same expected-distance baseline
+    from a distance row on every placement cycle; this is that subtraction
+    hoisted all the way out of the mapper into the shared topology tables
+    (it is as much a pure function of the machine shape as the distance
+    matrix itself). Read-only, like every shared table.
+    """
+    dt = np.dtype(dtype)
+    mat = topology._centered_distance.get(dt)
+    if mat is not None:
+        return mat
+    key = topology.cache_key()
+    skey = (key, "centered_distance_matrix", dt.str) if key is not None else None
+    mat = cache.shared_get(skey) if skey is not None else None
+    if mat is None:
+        # Same cast-then-subtract the mappers used to do inline, so the
+        # cached table is bitwise what the kernels computed before.
+        dist = topology.distance_matrix(dt)
+        avg = average_distance_vector(topology).astype(dt, copy=False)
+        mat = dist - avg
+        mat.flags.writeable = False
+        if skey is not None:
+            cache.shared_put(skey, mat)
+    topology._centered_distance[dt] = mat
+    return mat

@@ -1,0 +1,71 @@
+"""Kernel selection for the mapper hot paths.
+
+The performance-critical mappers (:class:`~repro.mapping.topolb.TopoLB`,
+:class:`~repro.mapping.refine.RefineTopoLB`) ship two implementations of
+their inner loops:
+
+``"vectorized"`` (the default)
+    Batched NumPy kernels: neighbor-row updates, stale-argmin repair, and
+    swap-delta evaluation operate on whole index blocks per call instead of
+    one Python-level element at a time. Produces **bit-identical
+    assignments** to the reference kernel (enforced by
+    ``tests/mapping/test_kernel_equivalence.py``).
+
+``"reference"``
+    The original scalar loops, kept verbatim as the executable
+    specification. Slower, but trivially auditable against the paper's
+    pseudocode; the equivalence suite and the ``BENCH_kernels_*.json``
+    before/after profiles are both recorded against this path.
+
+Mappers take ``kernel=None`` to mean "use the process-wide default", which
+:func:`set_default_kernel` flips (the CLI exposes it as ``--kernel``). See
+``docs/PERFORMANCE.md`` for the kernel design notes.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import MappingError
+
+__all__ = [
+    "KERNELS",
+    "DEFAULT_KERNEL",
+    "get_default_kernel",
+    "set_default_kernel",
+    "resolve_kernel",
+]
+
+#: Every kernel name any mapper understands.
+KERNELS = ("vectorized", "reference")
+
+DEFAULT_KERNEL = "vectorized"
+
+_default_kernel = DEFAULT_KERNEL
+
+
+def get_default_kernel() -> str:
+    """The process-wide kernel used when a mapper is built with ``kernel=None``."""
+    return _default_kernel
+
+
+def set_default_kernel(name: str) -> str:
+    """Set the process-wide default kernel; returns the previous default.
+
+    The choice only affects mappers constructed *after* the call (kernel is
+    resolved at construction time, so a mapper's behavior never changes
+    mid-run).
+    """
+    global _default_kernel
+    if name not in KERNELS:
+        raise MappingError(f"kernel must be one of {KERNELS}, got {name!r}")
+    previous = _default_kernel
+    _default_kernel = name
+    return previous
+
+
+def resolve_kernel(kernel: str | None, allowed: tuple[str, ...] = KERNELS) -> str:
+    """Resolve a constructor's ``kernel`` argument against ``allowed``."""
+    if kernel is None:
+        kernel = _default_kernel
+    if kernel not in allowed:
+        raise MappingError(f"kernel must be one of {allowed}, got {kernel!r}")
+    return kernel

@@ -15,8 +15,20 @@ neighbors j of c_tj * d(q, P(j))``. For tasks ``a``, ``b`` on processors
 (the correction term undoes the double-counted improvement the naive sum
 claims for the a-b edge itself, whose endpoints merely trade places). A
 sweep evaluates, for each task ``a``, the delta against *every* other task
-in one vectorized shot and greedily applies the best strictly-negative swap;
-sweeps repeat until a full pass makes no swap or ``max_sweeps`` is hit.
+and greedily applies the best strictly-negative swap; sweeps repeat until a
+full pass makes no swap or ``max_sweeps`` is hit.
+
+Two kernels implement the sweep (see :mod:`repro.mapping.kernels`). The
+``"reference"`` kernel evaluates one task row at a time, exactly as above.
+The ``"vectorized"`` kernel (default) is the *block sweep*: it evaluates the
+delta rows for a whole block of ``block_size`` tasks as one ``(B, n)``
+matrix expression, then walks the block in sweep order consuming the
+precomputed rows. The precomputed rows are valid until the first accepted
+swap mutates ``assign``/``cost``; from that point the block is discarded and
+a fresh (small, re-doubling) window restarts just past the swap, so the
+block sweep visits the same tasks in the same order with the same deltas as
+the reference kernel — bit-identical refined mappings (converged sweeps,
+where no swap fires, collapse to ~``log(n / B)`` matrix operations total).
 """
 
 from __future__ import annotations
@@ -26,6 +38,7 @@ import numpy as np
 from repro import obs
 from repro.exceptions import MappingError
 from repro.mapping.base import Mapper, Mapping
+from repro.mapping.kernels import resolve_kernel
 from repro.taskgraph.graph import TaskGraph
 from repro.topology.base import Topology
 from repro.utils.rng import as_rng
@@ -47,17 +60,34 @@ class RefineTopoLB(Mapper):
     seed:
         Sweep order is randomized (a fixed order can get stuck in the same
         local minimum every sweep); the seed makes runs reproducible.
+    kernel:
+        ``"vectorized"`` (block sweep, the default), ``"reference"``
+        (row-at-a-time), or ``None`` for the process-wide default.
+    block_size:
+        Tasks per ``(B, n)`` delta block in the vectorized kernel. Larger
+        blocks amortize better on converged sweeps but waste more
+        precomputation when swaps fire early in a block.
     """
 
     strategy_name = "RefineTopoLB"
 
     def __init__(self, base: Mapper | None = None, max_sweeps: int = 10,
-                 seed: int | np.random.Generator | None = 0):
+                 seed: int | np.random.Generator | None = 0,
+                 kernel: str | None = None, block_size: int = 64):
         if max_sweeps < 1:
             raise MappingError(f"max_sweeps must be >= 1, got {max_sweeps}")
+        if block_size < 1:
+            raise MappingError(f"block_size must be >= 1, got {block_size}")
         self._base = base
         self._max_sweeps = int(max_sweeps)
         self._seed = seed
+        self._kernel = resolve_kernel(kernel)
+        self._block_size = int(block_size)
+
+    @property
+    def kernel(self) -> str:
+        """The resolved kernel name ("vectorized" or "reference")."""
+        return self._kernel
 
     def map(self, graph: TaskGraph, topology: Topology) -> Mapping:
         if self._base is None:
@@ -69,26 +99,40 @@ class RefineTopoLB(Mapper):
 
     def refine(self, mapping: Mapping) -> Mapping:
         """Return a refined copy of ``mapping`` (never worse in hop-bytes)."""
+        run = (
+            self._refine_reference
+            if self._kernel == "reference"
+            else self._refine_vectorized
+        )
         prof = obs.active()
         if prof is None:
-            return self._refine(mapping)
+            return run(mapping)
         with prof.timer("refine.refine"):
-            return self._refine(mapping, prof)
+            return run(mapping, prof)
 
-    def _refine(self, mapping: Mapping, prof: obs.Profiler | None = None) -> Mapping:
+    def _setup(self, mapping: Mapping):
+        """Shared kernel state: distance matrix, CSR arrays, cost table."""
         graph, topology = mapping.graph, mapping.topology
         n = self._check_sizes(graph, topology)
         if not mapping.is_bijection():
             raise MappingError("RefineTopoLB requires a bijective mapping")
         rng = as_rng(self._seed)
 
-        dist = topology.distance_matrix().astype(np.float64, copy=False)
+        dist = topology.distance_matrix(np.float64)
         indptr, indices, weights = graph.csr_arrays()
         assign = mapping.assignment.copy()
 
         # C[t, q] = first-order cost of task t if it sat on processor q.
         csr = graph.adjacency_csr()
         cost = np.asarray(csr @ dist[assign])  # (n, p)
+        return n, rng, dist, indptr, indices, weights, assign, cost
+
+    def _refine_reference(
+        self, mapping: Mapping, prof: obs.Profiler | None = None
+    ) -> Mapping:
+        """Row-at-a-time sweep — the executable specification of the block
+        sweep; the equivalence suite pins the two to identical outputs."""
+        n, rng, dist, indptr, indices, weights, assign, cost = self._setup(mapping)
 
         ids = np.arange(n)
         sweeps = evaluations = accepted = 0
@@ -128,6 +172,123 @@ class RefineTopoLB(Mapper):
             prof.count("refine.swaps_rejected", evaluations - accepted)
         return mapping.with_assignment(assign)
 
+    def _refine_vectorized(
+        self, mapping: Mapping, prof: obs.Profiler | None = None
+    ) -> Mapping:
+        """Block sweep: precompute ``(B, n)`` delta rows, consume them until
+        the first accepted swap invalidates the block (see module docstring).
+        """
+        n, rng, dist, indptr, indices, weights, assign, cost = self._setup(mapping)
+
+        ids = np.arange(n)
+        bsize = min(self._block_size, n)
+        # Post-swap restart size. An accepted swap discards the precomputed
+        # rows after it, so on swap-dense sweeps a large restart window
+        # wastes almost all of its (B, n) block; restarting small and
+        # re-doubling bounds the waste per swap at O(floor * n) while
+        # converged sweeps still grow the window to n within a few blocks.
+        floor = min(bsize, 4)
+        sweeps = evaluations = accepted = 0
+        blocks_precomputed = 0
+
+        # diag[t] = cost[t, assign[t]], maintained incrementally: the full
+        # diagonal gather strides one row per element (a p-page walk), and
+        # paying it per block dominated swap-dense sweeps. A swap only moves
+        # the entries of a, b, and their neighbors (the only rows/columns of
+        # the gather that changed), so those are re-copied after each swap —
+        # pure element copies, never arithmetic, hence bitwise identical to
+        # regathering the whole diagonal.
+        diag = cost[ids, assign]
+
+        def block_deltas(block: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            """All delta rows of ``block`` in one (B, n) expression, reduced
+            to per-row (argmin, min). The elementwise term order matches the
+            reference kernel's row exactly (in-place +=/-= keep the same
+            left-to-right evaluation), so every precomputed row is bitwise
+            equal to a fresh one and argmin picks the same partner.
+            """
+            pa_blk = assign[block]
+            deltas = cost[block[:, None], assign[None, :]]  # C[a, pb]
+            deltas += cost[:, pa_blk].T                     # C[b, pa]
+            deltas -= diag[block][:, None]                  # C[a, pa]
+            deltas -= diag[None, :]                         # C[b, pb]
+            # Neighbor-edge correction for every block row at once: flatten
+            # the block's CSR slices, then scatter-add. (task-row, neighbor)
+            # pairs are unique, so the fancy-indexed += is exact.
+            rows = np.arange(len(block))
+            los, his = indptr[block], indptr[block + 1]
+            degs = his - los
+            total = int(degs.sum())
+            if total:
+                offsets = np.repeat(his - np.cumsum(degs), degs)
+                flat = offsets + np.arange(total)
+                nbrs = indices[flat]
+                rows_rep = np.repeat(rows, degs)
+                deltas[rows_rep, nbrs] += (
+                    2.0 * weights[flat] * dist[assign[block[rows_rep]], assign[nbrs]]
+                )
+            deltas[rows, block] = 0.0
+            bmins = deltas.argmin(axis=1)
+            return bmins, deltas[rows, bmins]
+
+        for _sweep in range(self._max_sweeps):
+            swapped = False
+            if prof is not None:
+                sweeps += 1
+            perm = rng.permutation(n)
+            pos = 0
+            window = bsize
+            while pos < n:
+                # Precompute a window of delta rows; consume them in sweep
+                # order until a swap mutates assign/cost, then restart the
+                # window just past the swap (an accepted swap invalidates
+                # every precomputed row after it). The window doubles after
+                # each swap-free block — converged sweeps collapse to a
+                # handful of precomputes — and snaps back to ``floor`` on a
+                # swap. Window size never changes the result, only how much
+                # precomputed work a swap throws away.
+                block = perm[pos:pos + window]
+                bmins, bvals = block_deltas(block)
+                blocks_precomputed += 1
+                consumed = len(block)
+                hit = False
+                for i, a in enumerate(block):
+                    improved = bvals[i] < -1e-9
+                    if prof is not None:
+                        evaluations += 1
+                        if improved:
+                            accepted += 1
+                    if improved:
+                        a, b = int(a), int(bmins[i])
+                        self._apply_swap(
+                            a, b, assign, cost, dist, indptr, indices, weights,
+                        )
+                        # Entries of the diagonal the swap moved: a and b
+                        # (their assignment changed) and their neighbors
+                        # (their cost rows changed). Duplicate ids are fine —
+                        # this is plain assignment, not accumulation.
+                        upd = np.concatenate((
+                            (a, b),
+                            indices[indptr[a]:indptr[a + 1]],
+                            indices[indptr[b]:indptr[b + 1]],
+                        ))
+                        diag[upd] = cost[upd, assign[upd]]
+                        swapped = True
+                        hit = True
+                        consumed = i + 1
+                        break
+                pos += consumed
+                window = floor if hit else min(window * 2, n)
+            if not swapped:
+                break
+
+        if prof is not None:
+            prof.count("refine.sweeps", sweeps)
+            prof.count("refine.swaps_accepted", accepted)
+            prof.count("refine.swaps_rejected", evaluations - accepted)
+            prof.count("refine.blocks_precomputed", blocks_precomputed)
+        return mapping.with_assignment(assign)
+
     @staticmethod
     def _apply_swap(a: int, b: int, assign: np.ndarray, cost: np.ndarray,
                     dist: np.ndarray, indptr: np.ndarray, indices: np.ndarray,
@@ -138,9 +299,16 @@ class RefineTopoLB(Mapper):
         processors, so the patch costs ``O(p * (deg a + deg b))``.
         """
         pa, pb = int(assign[a]), int(assign[b])
+        if a == b or pa == pb:
+            # Degenerate "swap": nothing moves, the delta is exactly zero,
+            # and patching the cost table would only accumulate rounding.
+            return
         assign[a], assign[b] = pb, pa
         move = dist[pb] - dist[pa]  # how d(q, P(a)) changed, for every q
-        for t, new_minus_old in ((a, move), (b, -move)):
+        for t, sign in ((a, 1.0), (b, -1.0)):
             lo, hi = indptr[t], indptr[t + 1]
-            for j, c in zip(indices[lo:hi], weights[lo:hi]):
-                cost[int(j)] += c * new_minus_old
+            nbrs = indices[lo:hi]
+            if nbrs.size:
+                # One fanned-out row update per endpoint; neighbor ids are
+                # unique within a CSR row, so the fancy-indexed += is exact.
+                cost[nbrs] += (sign * weights[lo:hi])[:, None] * move

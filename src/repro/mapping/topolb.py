@@ -20,6 +20,13 @@ values is maintained incrementally —
 Selection state (``FMin``, ``FAvg`` per row) is maintained across cycles;
 when the consumed processor was some row's argmin, only those rows are
 re-reduced (lazy repair) instead of rescanning the whole table.
+
+Two kernels implement the cycle body (see :mod:`repro.mapping.kernels`):
+``"vectorized"`` (default) batches the neighbor-row updates and the
+stale-argmin repair across whole index arrays per NumPy call;
+``"reference"`` keeps the original scalar loops. Both produce bit-identical
+assignments — the equivalence suite enforces it — so the reference path
+doubles as the executable specification of the fast one.
 """
 
 from __future__ import annotations
@@ -29,7 +36,12 @@ import numpy as np
 from repro import obs
 from repro.exceptions import MappingError
 from repro.mapping.base import Mapper, Mapping
-from repro.mapping.estimation import EstimatorOrder, average_distance_vector
+from repro.mapping.estimation import (
+    EstimatorOrder,
+    average_distance_vector,
+    centered_distance_matrix,
+)
+from repro.mapping.kernels import resolve_kernel
 from repro.taskgraph.graph import TaskGraph
 from repro.topology.base import Topology
 
@@ -61,6 +73,10 @@ class TopoLB(Mapper):
           is already costliest ("hardest first");
         * ``"volume"``: maximum total communication volume ("chattiest
           first", selection decoupled from the topology).
+    kernel:
+        ``"vectorized"`` (batched NumPy cycle body, the default),
+        ``"reference"`` (the original scalar loops), or ``None`` for the
+        process-wide default (:func:`repro.mapping.kernels.get_default_kernel`).
     """
 
     strategy_name = "TopoLB"
@@ -70,6 +86,7 @@ class TopoLB(Mapper):
         order: EstimatorOrder | int = EstimatorOrder.SECOND,
         dtype: type = np.float64,
         selection: str = "gain",
+        kernel: str | None = None,
     ):
         self._order = EstimatorOrder(order)
         self._dtype = np.dtype(dtype)
@@ -80,6 +97,7 @@ class TopoLB(Mapper):
                 f"selection must be one of {_SELECTION_RULES}, got {selection!r}"
             )
         self._selection = selection
+        self._kernel = resolve_kernel(kernel)
 
     @property
     def order(self) -> EstimatorOrder:
@@ -91,14 +109,20 @@ class TopoLB(Mapper):
         """The configured task-selection rule."""
         return self._selection
 
+    @property
+    def kernel(self) -> str:
+        """The resolved kernel name ("vectorized" or "reference")."""
+        return self._kernel
+
     def map(self, graph: TaskGraph, topology: Topology) -> Mapping:
         n = self._check_sizes(graph, topology)
+        run = self._run_reference if self._kernel == "reference" else self._run_vectorized
         prof = obs.active()
         if prof is None:
-            assignment = self._run(graph, topology, n)
+            assignment = run(graph, topology, n)
         else:
             with prof.timer("topolb.map"):
-                assignment = self._run(graph, topology, n, prof)
+                assignment = run(graph, topology, n, prof)
         return Mapping(graph, topology, assignment)
 
     # ------------------------------------------------------------------ core
@@ -109,28 +133,41 @@ class TopoLB(Mapper):
     #: sharing one argmin) from degrading every cycle to O(n p).
     _RESERVE = 8
 
-    def _run(
-        self,
-        graph: TaskGraph,
-        topology: Topology,
-        n: int,
-        prof: obs.Profiler | None = None,
-    ) -> np.ndarray:
-        dist = topology.distance_matrix().astype(self._dtype, copy=False)
+    def _setup(self, graph: TaskGraph, topology: Topology, n: int):
+        """Shared kernel state: fest table, selection vectors, reserve arrays."""
+        dist = topology.distance_matrix(self._dtype)
         indptr, indices, weights = graph.csr_arrays()
 
         order = self._order
         # Bytes from each task to its not-yet-placed neighbors.
         unplaced_comm = graph.comm_volumes().astype(self._dtype)
 
-        avg_all = average_distance_vector(topology).astype(self._dtype)
+        # copy=False: the cast is a no-op for float64 tables, and avg_all is
+        # never mutated, so aliasing the shared read-only vector is safe
+        # (avg_free, which the third-order path does mutate, is a real copy).
+        avg_all = average_distance_vector(topology).astype(self._dtype, copy=False)
         avg_free = avg_all.copy()  # only consulted by the third-order path
 
         # fest table: rows = tasks, columns = processors.
         if order is EstimatorOrder.FIRST:
             fest = np.zeros((n, n), dtype=self._dtype)
         else:
-            fest = np.outer(unplaced_comm, avg_free).astype(self._dtype)
+            # outer() of two dtype arrays is already dtype: no astype copy.
+            fest = np.outer(unplaced_comm, avg_free)
+        return dist, indptr, indices, weights, unplaced_comm, avg_all, avg_free, fest
+
+    def _run_reference(
+        self,
+        graph: TaskGraph,
+        topology: Topology,
+        n: int,
+        prof: obs.Profiler | None = None,
+    ) -> np.ndarray:
+        """The original scalar cycle body — kept verbatim as the executable
+        specification the vectorized kernel is tested against."""
+        (dist, indptr, indices, weights, unplaced_comm,
+         avg_all, avg_free, fest) = self._setup(graph, topology, n)
+        order = self._order
 
         avail = np.ones(n, dtype=bool)
         unassigned = np.ones(n, dtype=bool)
@@ -248,6 +285,277 @@ class TopoLB(Mapper):
                 f_sum[dirty] = fest[dirty] @ avail.astype(self._dtype)
             if prof is not None:
                 rows_rebuilt += len(dirty)
+
+        if prof is not None:
+            prof.count("topolb.cycles", cycles)
+            prof.count("topolb.reserve_hits", reserve_hits)
+            prof.count("topolb.reserve_exhaustions", reserve_exhaustions)
+            prof.count("topolb.rows_rebuilt", rows_rebuilt)
+            prof.count("topolb.neighbor_updates", neighbor_updates)
+        return assignment
+
+    def _run_vectorized(
+        self,
+        graph: TaskGraph,
+        topology: Topology,
+        n: int,
+        prof: obs.Profiler | None = None,
+    ) -> np.ndarray:
+        """Batched cycle body — bit-identical assignments to the reference.
+
+        Two structural changes over the reference, neither observable in the
+        output:
+
+        * **Lazy reserve.** The reference stable-sorts every dirty row each
+          cycle to refresh its cached candidate list, but a touched row only
+          ever *reads* that list on a later stale-argmin event — most sorts
+          are thrown away unread. Here a dirty row merely records its
+          rebuild epoch; ``f_min``/``f_argmin`` come from an O(free) argmin
+          (the head of the sorted list, without the sort). A stale event
+          then *replays* the walk the reference would have made: processors
+          are consumed one per cycle and never returned, so the consumption
+          log recovers any epoch's free set, and the walk's outcome is
+          decided by ranking the row's current free argmin against the
+          since-consumed candidates (see the inline proof). No candidate
+          list is ever materialized; per-row sorts disappear entirely.
+        * **Poisoned selection.** Assigned rows get sentinel scores
+          (``-inf``/``+inf``) instead of being masked out with ``np.where``
+          every cycle, and ``f_argmin`` is poisoned to ``-1`` so the stale
+          scan needs no ``unassigned &`` mask. Sentinels strictly lose every
+          argmax, so selection among unassigned rows is untouched.
+
+        All floating-point expressions keep the reference kernel's
+        elementwise evaluation order so tie-breaks cannot diverge.
+        """
+        (dist, indptr, indices, weights, unplaced_comm,
+         avg_all, avg_free, fest) = self._setup(graph, topology, n)
+        order = self._order
+        selection = self._selection
+
+        avail = np.ones(n, dtype=bool)
+        unassigned = np.ones(n, dtype=bool)
+        avail_count = n
+        assignment = np.full(n, -1, dtype=np.int64)
+        # Float view of the availability mask, maintained in O(1) per cycle
+        # (the reference path re-casts the bool mask every cycle instead).
+        avail_f = np.ones(n, dtype=self._dtype)
+
+        # f_sum feeds only the "gain" score; other selections never read it.
+        track_sum = selection == "gain"
+        f_sum = fest.sum(axis=1) if track_sum else None
+        # Sentinel written into f_min on assignment: +inf sends the gain
+        # score to -inf, -inf loses the max_cost argmax directly.
+        f_min_poison = -np.inf if selection == "max_cost" else np.inf
+        if selection == "volume":
+            vol_score = graph.comm_volumes().astype(np.float64)
+
+        reserve = min(self._RESERVE, n)
+        ar = np.arange(n)            # shared index scratch
+
+        # Initial reserve via `reserve` argmin-extraction passes: pass k
+        # yields every row's k-th smallest (value, id) entry — the head of
+        # the reference's stable initial sort, in O(reserve * n^2) instead
+        # of O(n^2 log n). Extracted entries are poisoned in fest itself
+        # (saving an n^2 working copy) and restored from res_vals after;
+        # within a row the extracted columns are distinct, so the
+        # scatter-back is an exact inverse.
+        res_ids = np.empty((n, reserve), dtype=np.int64)
+        res_vals = np.empty((n, reserve), dtype=self._dtype)
+        for k in range(reserve):
+            am = fest.argmin(axis=1)
+            res_ids[:, k] = am
+            res_vals[:, k] = fest[ar, am]
+            fest[ar, am] = np.inf
+        fest[ar[:, None], res_ids] = res_vals
+        res_pos = np.zeros(n, dtype=np.int64)
+        f_min = res_vals[:, 0].copy()
+        f_argmin = res_ids[:, 0].copy()
+
+        # Lazy-reserve bookkeeping: the cycle at which the reference would
+        # last have rebuilt each row (-1 = the initial build, for which
+        # res_* above holds the actual candidate list) and the processors in
+        # consumption order — together they recover, for any row, the free
+        # set the reference's reserve was sorted over.
+        touch_epoch = np.full(n, -1, dtype=np.int64)
+        consumed_order = np.empty(n, dtype=np.int64)
+
+        cols = np.arange(reserve)
+        dirty_mask = np.zeros(n, dtype=bool)
+        # np.flatnonzero(avail), kept incrementally: consumed ids are shifted
+        # out of an ascending buffer in place (ascending order is load-bearing
+        # — it is what makes "first minimum position" mean "lowest id").
+        free_buf = np.arange(n)
+        nfree = n
+        free_ids = free_buf
+        # Second-order rows subtract the same static baseline every cycle;
+        # the whole (p, p) difference table is hoisted not just out of the
+        # loop but into the shared topology cache. (Third order recentres
+        # on avg_free, which moves every cycle.)
+        if order is EstimatorOrder.SECOND:
+            dma = centered_distance_matrix(topology, self._dtype)
+        # unplaced_comm only feeds the third-order recentring term — for the
+        # other orders it is never read, so skip maintaining it.
+        track_comm = order is EstimatorOrder.THIRD
+        # Score buffer in the fest dtype — the reference's `f_sum / count`
+        # divides in that dtype, and matching its rounding is what keeps
+        # near-tie argmax decisions identical.
+        sbuf = np.empty(n, dtype=self._dtype)
+
+        cycles = reserve_hits = reserve_exhaustions = 0
+        rows_rebuilt = neighbor_updates = 0
+        for cycle in range(n):
+            if selection == "gain":
+                np.divide(f_sum, avail_count, out=sbuf)
+                sbuf -= f_min
+                tk = int(sbuf.argmax())
+            elif selection == "max_cost":
+                tk = int(f_min.argmax())
+            else:  # "volume"
+                tk = int(vol_score.argmax())
+            pk = int(f_argmin[tk])
+            assignment[tk] = pk
+            unassigned[tk] = False
+            avail[pk] = False
+            avail_f[pk] = 0
+            avail_count -= 1
+            f_argmin[tk] = -1
+            f_min[tk] = f_min_poison
+            if selection == "volume":
+                vol_score[tk] = -np.inf
+            if prof is not None:
+                cycles += 1
+            if avail_count == 0:
+                break
+
+            # --- processor pk leaves the free set --------------------------
+            if track_sum:
+                f_sum -= fest[:, pk]
+            consumed_order[cycle] = pk
+            pos_pk = int(np.searchsorted(free_buf[:nfree], pk))
+            free_buf[pos_pk:nfree - 1] = free_buf[pos_pk + 1:nfree]
+            nfree -= 1
+            free_ids = free_buf[:nfree]
+            rescan: list[int] = []
+            stale = np.flatnonzero(f_argmin == pk)
+            if stale.size:
+                epochs = touch_epoch[stale]
+                vmask = epochs == -1
+                sv = stale[vmask]
+                if sv.size:
+                    # Rows never dirtied still hold their initial candidate
+                    # list: first still-free cached candidate after the
+                    # current position, all rows at once (argmax = first
+                    # True). This is the common case in the early cycles of
+                    # symmetric instances, where hundreds of rows share the
+                    # consumed argmin.
+                    ok = avail[res_ids[sv]]
+                    ok &= cols > res_pos[sv, None]
+                    first = ok.argmax(axis=1)
+                    found = ok[ar[: sv.size], first]
+                    hit = sv[found]
+                    if hit.size:
+                        pos = first[found]
+                        res_pos[hit] = pos
+                        f_min[hit] = res_vals[hit, pos]
+                        f_argmin[hit] = res_ids[hit, pos]
+                    rescan.extend(int(t) for t in sv[~found])
+                for t in stale[~vmask]:
+                    # Dirtied rows replay the walk the reference would have
+                    # made over the reserve it rebuilt at the row's epoch —
+                    # without materializing it. Whatever free candidate that
+                    # walk reaches is *preceded* in the epoch's (value, id)
+                    # order only by consumed entries (a free predecessor
+                    # would itself be a smaller free value), so the find is
+                    # exactly the row's current free argmin, sitting at
+                    # epoch-rank r = the number of since-consumed candidates
+                    # ordered ahead of it. The walk succeeds iff r fits
+                    # inside the reserve window; otherwise the reference
+                    # would have exhausted the reserve and rescanned.
+                    t = int(t)
+                    rowt = fest[t]
+                    fv = rowt[free_ids]
+                    j = int(fv.argmin())
+                    vmin = fv[j]
+                    cseq = consumed_order[touch_epoch[t] + 1: cycle + 1]
+                    cv = rowt[cseq]
+                    r = int(np.count_nonzero(cv < vmin))
+                    if r < reserve:
+                        # Ties with vmin can only push the rank further out;
+                        # resolve them by id only when one actually exists.
+                        eq = cv == vmin
+                        if eq.any():
+                            r += int(np.count_nonzero(cseq[eq] < free_ids[j]))
+                    if r < reserve:
+                        f_min[t] = vmin
+                        f_argmin[t] = free_ids[j]
+                    else:
+                        rescan.append(t)
+                if prof is not None:
+                    reserve_exhaustions += len(rescan)
+                    reserve_hits += int(stale.size) - len(rescan)
+
+            # --- neighbor rows: one broadcasted update for all of them -----
+            # The rows written here are exactly the rows repaired below, so
+            # the fancy-indexed `fest[touched] += ...` (gather, add, scatter)
+            # is opened up: gather once into rows_full, update in place,
+            # scatter back, and hand the already-gathered rows to the repair
+            # step. Same elementwise operations, one O(k*p) gather fewer.
+            lo, hi = indptr[tk], indptr[tk + 1]
+            nbrs = indices[lo:hi]
+            sel = unassigned[nbrs]
+            touched = nbrs[sel]
+            rows_full = None
+            if touched.size:
+                ws = weights[lo:hi][sel]
+                if order is EstimatorOrder.FIRST:
+                    upd = ws[:, None] * dist[pk]
+                elif order is EstimatorOrder.SECOND:
+                    upd = ws[:, None] * dma[pk]
+                else:
+                    upd = ws[:, None] * (dist[pk] - avg_free)
+                rows_full = fest[touched]
+                rows_full += upd
+                fest[touched] = rows_full
+                if track_comm:
+                    unplaced_comm[touched] -= ws
+            if prof is not None:
+                neighbor_updates += int(touched.size)
+
+            if order is EstimatorOrder.THIRD:
+                new_avg = (avg_free * (avail_count + 1) - dist[pk]) / avail_count
+                delta = new_avg - avg_free
+                avg_free = new_avg
+                rows = np.flatnonzero(unassigned)
+                fest[rows] += np.outer(unplaced_comm[rows], delta)
+                touched = rows
+                rows_full = None  # recentring rewrote more rows than touched
+
+            # --- repair row reductions (mask union instead of np.unique) ---
+            if rescan or touched.size:
+                if not rescan:
+                    # Common case: CSR neighbor ids are already unique (and
+                    # rows ⊇ rescan for third order), no union to take.
+                    dirty = touched
+                else:
+                    dirty_mask[rescan] = True
+                    dirty_mask[touched] = True
+                    dirty = np.flatnonzero(dirty_mask)
+                    dirty_mask[dirty] = False
+                    rows_full = None
+                touch_epoch[dirty] = cycle
+                k = dirty.size
+                if rows_full is None:
+                    rows_full = fest[dirty]
+                # Head of the reference's sorted reserve, without the sort:
+                # lowest-id minimum over the free columns.
+                sub = rows_full[:, free_ids]
+                posm = sub.argmin(axis=1)
+                f_min[dirty] = sub[ar[:k], posm]
+                f_argmin[dirty] = free_ids[posm]
+                if track_sum:
+                    f_sum[dirty] = rows_full @ avail_f
+                if prof is not None:
+                    rows_rebuilt += int(k)
 
         if prof is not None:
             prof.count("topolb.cycles", cycles)

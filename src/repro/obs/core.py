@@ -160,6 +160,34 @@ class Profiler:
             series = self.series[name] = Series(self._max_series_samples)
         series.add(t, value)
 
+    def merge(self, snapshot: dict[str, Any]) -> None:
+        """Fold another profiler's :meth:`snapshot` into this one.
+
+        Counters and timer totals/counts add up, events concatenate under
+        the same bounded cap (overflow is counted, as for :meth:`event`),
+        and series samples are re-added through the normal decimation path.
+        This is how the parallel experiment runner folds per-worker
+        telemetry into the single artifact it writes.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.count(name, value)
+        for name, cell in snapshot.get("timers", {}).items():
+            mine = self.timers.get(name)
+            if mine is None:
+                self.timers[name] = [float(cell["total_s"]), int(cell["count"])]
+            else:
+                mine[0] += float(cell["total_s"])
+                mine[1] += int(cell["count"])
+        for ev in snapshot.get("events", []):
+            if len(self.events) >= self._max_events:
+                self.dropped_events += 1
+            else:
+                self.events.append(dict(ev))
+        self.dropped_events += int(snapshot.get("dropped_events", 0))
+        for name, sdata in snapshot.get("series", {}).items():
+            for t, value in sdata.get("samples", []):
+                self.sample(name, t, value)
+
     # ------------------------------------------------------------- reporting
     def snapshot(self) -> dict[str, Any]:
         """Plain-JSON view of everything recorded so far."""

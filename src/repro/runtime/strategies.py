@@ -70,6 +70,9 @@ STRATEGIES: dict[str, Callable[[int | None], Mapper]] = {
     "RefineTopoLB": lambda seed: _pipeline(
         TopoLB(order=EstimatorOrder.SECOND), refiner=RefineTopoLB(seed=seed or 0)
     ),
+    "RefineTopoLB3": lambda seed: _pipeline(
+        TopoLB(order=EstimatorOrder.THIRD), refiner=RefineTopoLB(seed=seed or 0)
+    ),
     "AnnealLB": lambda seed: _pipeline(_anneal(seed)),
     "GeneticLB": lambda seed: _pipeline(_genetic(seed)),
     "BokhariLB": lambda seed: _pipeline(_bokhari(seed)),

@@ -26,7 +26,11 @@ class Topology(abc.ABC):
         if num_nodes < 1:
             raise TopologyError(f"topology needs at least one node, got {num_nodes}")
         self._num_nodes = int(num_nodes)
-        self._distance_matrix: np.ndarray | None = None
+        # Derived tables, one per requested dtype; populated lazily by
+        # distance_matrix() (possibly from the process-level shared cache).
+        self._distance_matrices: dict[np.dtype, np.ndarray] = {}
+        self._avg_distance_vector: np.ndarray | None = None
+        self._centered_distance: dict[np.dtype, np.ndarray] = {}
 
     # ------------------------------------------------------------------ size
     @property
@@ -51,26 +55,74 @@ class Topology(abc.ABC):
         Returns an int array of shape ``(num_nodes,)``.
         """
 
+    def cache_key(self) -> tuple | None:
+        """Key identifying this topology's *shape* for the shared table cache.
+
+        Two instances with equal keys must be fully interchangeable — same
+        distances, same node numbering. Shape-defined subclasses (grid,
+        hypercube, fat-tree) override this; the default ``None`` means "not
+        shareable", which is the only sound answer for content-defined
+        topologies (an explicit matrix or edge list carries information the
+        constructor arguments' repr cannot prove equal).
+        """
+        return None
+
     def distance(self, a: int, b: int) -> int:
         """Shortest-path hop distance between processors ``a`` and ``b``."""
         a = self._check_node(a)
         b = self._check_node(b)
-        if self._distance_matrix is not None:
-            return int(self._distance_matrix[a, b])
+        for mat in self._distance_matrices.values():
+            return int(mat[a, b])
         return int(self.distance_row(a)[b])
 
     def distance_matrix(self, dtype: np.dtype | type = np.int32) -> np.ndarray:
-        """All-pairs hop-distance matrix, cached after first computation.
+        """All-pairs distance matrix in ``dtype``, cached per dtype.
 
-        The matrix is ``p x p`` and symmetric; for the paper's scales
-        (p up to a few thousand) an int32 matrix is small enough to hold.
+        The matrix is ``p x p``, symmetric and **read-only** (it is shared
+        between callers — and, for shape-defined topologies, between
+        topology instances via :mod:`repro.topology.cache`). Additional
+        dtypes are derived by casting an exact cached matrix instead of
+        re-running the ``O(p^2)`` distance computation.
         """
-        if self._distance_matrix is None or self._distance_matrix.dtype != np.dtype(dtype):
-            mat = np.empty((self._num_nodes, self._num_nodes), dtype=dtype)
-            for node in range(self._num_nodes):
-                mat[node] = self.distance_row(node)
-            self._distance_matrix = mat
-        return self._distance_matrix
+        from repro.topology import cache
+
+        dt = np.dtype(dtype)
+        mat = self._distance_matrices.get(dt)
+        if mat is not None:
+            return mat
+
+        key = self.cache_key()
+        skey = (key, "distance_matrix", dt.str) if key is not None else None
+        if skey is not None:
+            mat = cache.shared_get(skey)
+        if mat is None:
+            # Derive by casting when an exact (integer or float64) matrix is
+            # already cached; lossy dtypes (float32) are never used as the
+            # source, so a float32-then-float64 call sequence stays exact.
+            source = next(
+                (
+                    m for m in self._distance_matrices.values()
+                    if m.dtype.kind in "iu" or m.dtype == np.float64
+                ),
+                None,
+            )
+            if source is not None:
+                mat = source.astype(dt)
+            else:
+                mat = self._build_distance_matrix(dt)
+            mat.flags.writeable = False
+            if skey is not None:
+                cache.shared_put(skey, mat)
+        self._distance_matrices[dt] = mat
+        return mat
+
+    def _build_distance_matrix(self, dtype: np.dtype) -> np.ndarray:
+        """Compute the full matrix (no caching). The generic path stacks
+        :meth:`distance_row`; grid subclasses override with a closed form."""
+        mat = np.empty((self._num_nodes, self._num_nodes), dtype=dtype)
+        for node in range(self._num_nodes):
+            mat[node] = self.distance_row(node)
+        return mat
 
     def diameter(self) -> int:
         """Maximum shortest-path distance over all processor pairs."""

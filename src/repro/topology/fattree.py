@@ -57,6 +57,9 @@ class FatTree(Topology):
     def name(self) -> str:
         return f"fattree(arity={self._arity},levels={self._levels})"
 
+    def cache_key(self) -> tuple:
+        return ("FatTree", self._arity, self._levels)
+
     def distance_row(self, node: int) -> np.ndarray:
         node = self._check_node(node)
         ids = np.arange(self._num_nodes, dtype=np.int64)

@@ -61,6 +61,11 @@ class GridTopology(Topology):
                 raise TopologyError(f"coordinate {coords!r} outside shape {self._shape}")
         return int(np.ravel_multi_index(tuple(int(c) for c in coords), self._shape))
 
+    def cache_key(self) -> tuple:
+        # Mesh/Torus of a given shape are fully determined by it; the class
+        # name separates the two metrics.
+        return (type(self).__name__, self._shape)
+
     def coords_array(self) -> np.ndarray:
         """Read-only ``(p, ndim)`` coordinate table for vectorized callers."""
         view = self._coords.view()
@@ -78,6 +83,21 @@ class GridTopology(Topology):
             shape = np.asarray(self._shape, dtype=np.int32)
             delta = np.minimum(delta, shape - delta)
         return delta.sum(axis=1, dtype=np.int32)
+
+    def _build_distance_matrix(self, dtype: np.dtype) -> np.ndarray:
+        # One broadcasted shot per row chunk instead of p distance_row calls;
+        # chunking keeps the (chunk, p, ndim) delta tensor small on big tori.
+        p = self._num_nodes
+        mat = np.empty((p, p), dtype=dtype)
+        shape = np.asarray(self._shape, dtype=np.int32)
+        chunk = max(1, (1 << 22) // max(p * self.ndim, 1))
+        for lo in range(0, p, chunk):
+            hi = min(lo + chunk, p)
+            delta = np.abs(self._coords[lo:hi, None, :] - self._coords[None, :, :])
+            if self.wraparound:
+                delta = np.minimum(delta, shape - delta)
+            mat[lo:hi] = delta.sum(axis=2, dtype=np.int32)
+        return mat
 
     def diameter(self) -> int:
         # Closed form: sum over axes of the per-axis maximum displacement.

@@ -40,6 +40,9 @@ class Hypercube(Topology):
     def name(self) -> str:
         return f"hypercube({self._dim})"
 
+    def cache_key(self) -> tuple:
+        return ("Hypercube", self._dim)
+
     def distance_row(self, node: int) -> np.ndarray:
         node = self._check_node(node)
         xor = np.arange(self._num_nodes, dtype=np.uint32) ^ np.uint32(node)

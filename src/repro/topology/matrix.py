@@ -48,10 +48,18 @@ class MatrixTopology(Topology):
     def distance_matrix(self, dtype=np.float64) -> np.ndarray:
         # Distances may be fractional (e.g. block-mean distances); serving
         # the stored float matrix avoids silent truncation to the default
-        # integer dtype of the base implementation.
-        if np.dtype(dtype).kind == "f":
-            return self._mat.astype(dtype, copy=False)
-        return self._mat.astype(dtype)
+        # integer dtype of the base implementation. Other dtypes are cast
+        # once and kept in the per-instance cache (never the shared cache:
+        # cache_key() is None — the name does not identify the contents).
+        dt = np.dtype(dtype)
+        if dt == np.float64:
+            return self._mat
+        mat = self._distance_matrices.get(dt)
+        if mat is None:
+            mat = self._mat.astype(dt)
+            mat.flags.writeable = False
+            self._distance_matrices[dt] = mat
+        return mat
 
     def distance(self, a: int, b: int) -> float:
         return float(self._mat[self._check_node(a), self._check_node(b)])

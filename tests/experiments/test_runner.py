@@ -62,3 +62,63 @@ class TestRunnerCli:
         assert doc["counters"]["topolb.cycles"] > 0
         assert doc["context"]["experiments"] == ["fig1_2"]
         assert obs.active() is None  # runner restored the disabled state
+
+    def test_rejects_jobs_below_one(self):
+        with pytest.raises(SystemExit):
+            runner.main(["all", "--jobs", "0"])
+
+
+class TestParallelRunner:
+    """``--jobs N``: a parallel "all" run must produce the same merged
+    telemetry as a serial one (wall times aside)."""
+
+    @pytest.fixture(autouse=True)
+    def _quick_registry(self, monkeypatch):
+        # Two cheap experiments stand in for the full registry. Linux uses
+        # the fork start method, so worker processes inherit every
+        # monkeypatched attribute below.
+        from repro.experiments import fig01_02, fig05_06
+
+        monkeypatch.setattr(fig01_02, "QUICK_SIDES", (4,))
+        monkeypatch.setattr(fig05_06, "QUICK_P_2D", (9,))
+        monkeypatch.setattr(
+            runner, "PAPER_EXPERIMENTS",
+            {k: runner.EXPERIMENTS[k] for k in ("fig1_2", "fig5")},
+        )
+
+    def test_jobs_two_matches_serial_profile(self, tmp_path, capsys):
+        from repro import obs
+
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        assert runner.main(["all", "--profile", str(serial_path)]) == 0
+        serial_out = capsys.readouterr().out
+        assert runner.main(
+            ["all", "--jobs", "2", "--profile", str(parallel_path)]) == 0
+        parallel_out = capsys.readouterr().out
+
+        # Reports are printed in submission order, so the text matches too.
+        assert parallel_out == serial_out
+
+        serial = obs.load_profile(serial_path)
+        parallel = obs.load_profile(parallel_path)
+        assert parallel["context"]["jobs"] == 2
+        assert serial["context"]["jobs"] == 1
+        assert parallel["context"]["experiments"] == ["fig1_2", "fig5"]
+        # Deterministic work → identical merged counters; timers cover the
+        # same phases (their durations differ, so compare keys only). The
+        # topology.cache hit/miss split depends on process layout (forked
+        # workers inherit the parent's warm cache), so it is excluded.
+        def algo_counters(doc):
+            return {k: v for k, v in doc["counters"].items()
+                    if not k.startswith("topology.cache.")}
+
+        assert algo_counters(parallel) == algo_counters(serial)
+        assert set(parallel["timers"]) == set(serial["timers"])
+        for exp_id in ("fig1_2", "fig5"):
+            assert f"experiment.{exp_id}" in parallel["timers"]
+
+    def test_jobs_flag_with_single_experiment_stays_serial(self, capsys):
+        # One experiment never spins up a pool; the flag is simply recorded.
+        assert runner.main(["fig1_2", "--jobs", "4"]) == 0
+        assert "fig1_2" in capsys.readouterr().out

@@ -1,0 +1,142 @@
+"""Vectorized-vs-reference kernel equivalence.
+
+The vectorized kernels are only allowed to exist because they are *proven*
+interchangeable with the scalar reference paths: every test here pins the
+two to **bit-identical assignments** (not merely equal hop-bytes) across
+estimator orders, selection rules, fest dtypes, and instance shapes —
+including symmetric instances whose massive score ties are where a batched
+reimplementation would first diverge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MappingError
+from repro.mapping import RandomMapper, RefineTopoLB, TopoLB
+from repro.mapping.estimation import EstimatorOrder
+from repro.mapping.kernels import (
+    DEFAULT_KERNEL,
+    KERNELS,
+    get_default_kernel,
+    resolve_kernel,
+    set_default_kernel,
+)
+from repro.taskgraph import mesh2d_pattern, mesh3d_pattern, random_taskgraph
+from repro.taskgraph.random_graphs import geometric_taskgraph
+from repro.topology import Hypercube, Mesh, Torus
+
+ORDERS = (EstimatorOrder.FIRST, EstimatorOrder.SECOND, EstimatorOrder.THIRD)
+SELECTIONS = ("gain", "max_cost", "volume")
+DTYPES = (np.float64, np.float32)
+
+
+def _instances():
+    """(label, graph, topology) shape grid.
+
+    The torus/mesh pattern pairs are maximally symmetric — every row of the
+    initial fest table ties with dozens of others, so any divergence in
+    tie-breaking between the kernels shows up immediately. The random and
+    geometric instances cover irregular degrees and weights.
+    """
+    return [
+        ("torus4x4-mesh2d", mesh2d_pattern(4, 4), Torus((4, 4))),
+        ("mesh2x3x2-mesh3d", mesh3d_pattern(2, 3, 2), Mesh((2, 3, 2))),
+        ("hypercube16-random", random_taskgraph(16, edge_prob=0.35, seed=5),
+         Hypercube(4)),
+        ("torus4x4x2-geometric", geometric_taskgraph(32, radius=0.35, seed=9),
+         Torus((4, 4, 2))),
+    ]
+
+
+class TestTopoLBEquivalence:
+    @pytest.mark.parametrize("label,graph,topo",
+                             _instances(), ids=lambda v: v if isinstance(v, str) else "")
+    @pytest.mark.parametrize("order", ORDERS)
+    @pytest.mark.parametrize("selection", SELECTIONS)
+    def test_assignments_bit_identical(self, label, graph, topo, order, selection):
+        for dtype in DTYPES:
+            ref = TopoLB(order=order, selection=selection, dtype=dtype,
+                         kernel="reference").map(graph, topo)
+            vec = TopoLB(order=order, selection=selection, dtype=dtype,
+                         kernel="vectorized").map(graph, topo)
+            np.testing.assert_array_equal(
+                vec.assignment, ref.assignment,
+                err_msg=f"{label} order={order} selection={selection} "
+                        f"dtype={np.dtype(dtype)}",
+            )
+
+    def test_symmetric_tie_break_worst_case(self):
+        """Fully symmetric instance: every initial fest row is identical, so
+        the whole run is tie-breaking. The kernels must walk the exact same
+        (value, id) order through all of it."""
+        graph = mesh2d_pattern(4, 4, message_bytes=1.0)
+        topo = Torus((4, 4))
+        for order in ORDERS:
+            ref = TopoLB(order=order, kernel="reference").map(graph, topo)
+            vec = TopoLB(order=order, kernel="vectorized").map(graph, topo)
+            np.testing.assert_array_equal(vec.assignment, ref.assignment)
+
+
+class TestRefineEquivalence:
+    @pytest.mark.parametrize("block_size", (1, 7, 64, 512))
+    def test_block_sweep_matches_reference(self, block_size):
+        graph = geometric_taskgraph(48, radius=0.3, seed=3)
+        topo = Mesh((6, 8))
+        # A random start leaves plenty of improving swaps, so the block
+        # sweep's discard-and-restart machinery is exercised hard.
+        start = RandomMapper(seed=11).map(graph, topo)
+        ref = RefineTopoLB(kernel="reference", seed=1).refine(start)
+        vec = RefineTopoLB(kernel="vectorized", seed=1,
+                           block_size=block_size).refine(start)
+        np.testing.assert_array_equal(vec.assignment, ref.assignment)
+
+    def test_converged_input_is_noop_for_both(self):
+        graph = mesh2d_pattern(4, 4)
+        topo = Torus((4, 4))
+        first = RefineTopoLB(kernel="reference", seed=0).refine(
+            TopoLB().map(graph, topo))
+        again_ref = RefineTopoLB(kernel="reference", seed=0).refine(first)
+        again_vec = RefineTopoLB(kernel="vectorized", seed=0).refine(first)
+        np.testing.assert_array_equal(again_ref.assignment, first.assignment)
+        np.testing.assert_array_equal(again_vec.assignment, first.assignment)
+
+
+class TestKernelSelection:
+    def test_invalid_kernel_rejected(self):
+        with pytest.raises(MappingError):
+            TopoLB(kernel="simd")
+        with pytest.raises(MappingError):
+            RefineTopoLB(kernel="fortran")
+        with pytest.raises(MappingError):
+            resolve_kernel("nope")
+
+    def test_default_kernel_resolution(self):
+        assert DEFAULT_KERNEL == "vectorized"
+        assert get_default_kernel() in KERNELS
+        previous = set_default_kernel("reference")
+        try:
+            assert previous == "vectorized"
+            # kernel=None resolves against the process default at
+            # construction time; explicit names always win.
+            assert TopoLB().kernel == "reference"
+            assert RefineTopoLB().kernel == "reference"
+            assert TopoLB(kernel="vectorized").kernel == "vectorized"
+        finally:
+            set_default_kernel(previous)
+        assert TopoLB().kernel == "vectorized"
+
+    def test_set_default_kernel_validates(self):
+        with pytest.raises(MappingError):
+            set_default_kernel("scalar")
+        assert get_default_kernel() == "vectorized"
+
+    def test_kernel_fixed_at_construction(self):
+        mapper = TopoLB()
+        prev = set_default_kernel("reference")
+        try:
+            # Flipping the default later never changes an existing mapper.
+            assert mapper.kernel == "vectorized"
+        finally:
+            set_default_kernel(prev)

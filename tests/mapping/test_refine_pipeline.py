@@ -95,6 +95,68 @@ class TestRefineTopoLB:
         assert after.hop_bytes <= before.hop_bytes + 1e-9
         assert after.is_bijection()
 
+    @given(
+        seed=st.integers(0, 10_000),
+        kernel=st.sampled_from(["vectorized", "reference"]),
+        block_size=st.sampled_from([1, 3, 16, 64]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_never_worse_any_kernel(self, seed, kernel, block_size):
+        """Monotone improvement holds for both kernels at any block size."""
+        topo = Mesh((4, 3))
+        g = random_taskgraph(12, edge_prob=0.35, seed=seed % 97)
+        before = RandomMapper(seed=seed).map(g, topo)
+        after = RefineTopoLB(
+            max_sweeps=3, seed=seed, kernel=kernel, block_size=block_size
+        ).refine(before)
+        assert after.hop_bytes <= before.hop_bytes + 1e-9
+        assert after.is_bijection()
+
+
+class TestApplySwapDegenerateGuard:
+    """Regression: a degenerate swap (same task, or two tasks already on the
+    same processor, which non-bijective internal states can produce) must be
+    an exact no-op — the old patch path accumulated rounding into the cost
+    table instead."""
+
+    @staticmethod
+    def _state(assign):
+        topo = Torus((3, 3))
+        g = random_taskgraph(9, edge_prob=0.5, seed=4)
+        dist = topo.distance_matrix(np.float64)
+        indptr, indices, weights = g.csr_arrays()
+        assign = np.asarray(assign, dtype=np.int64)
+        cost = np.asarray(g.adjacency_csr() @ dist[assign])
+        return assign, cost, dist, indptr, indices, weights
+
+    def test_same_task_is_noop(self):
+        assign, cost, dist, indptr, indices, weights = self._state(range(9))
+        assign0, cost0 = assign.copy(), cost.copy()
+        RefineTopoLB._apply_swap(3, 3, assign, cost, dist, indptr, indices,
+                                 weights)
+        np.testing.assert_array_equal(assign, assign0)
+        np.testing.assert_array_equal(cost, cost0)
+
+    def test_same_processor_is_noop(self):
+        # Crafted non-bijective state: tasks 2 and 5 share processor 7.
+        assign, cost, dist, indptr, indices, weights = self._state(
+            [0, 1, 7, 3, 4, 7, 6, 2, 8])
+        assert assign[2] == assign[5]
+        assign0, cost0 = assign.copy(), cost.copy()
+        RefineTopoLB._apply_swap(2, 5, assign, cost, dist, indptr, indices,
+                                 weights)
+        np.testing.assert_array_equal(assign, assign0)
+        np.testing.assert_array_equal(cost, cost0)
+
+    def test_real_swap_still_applies(self):
+        assign, cost, dist, indptr, indices, weights = self._state(range(9))
+        RefineTopoLB._apply_swap(1, 6, assign, cost, dist, indptr, indices,
+                                 weights)
+        assert assign[1] == 6 and assign[6] == 1
+        # Patched table equals a from-scratch rebuild.
+        g = random_taskgraph(9, edge_prob=0.5, seed=4)
+        np.testing.assert_allclose(cost, g.adjacency_csr() @ dist[assign])
+
 
 class TestTwoPhaseMapper:
     def test_equal_sizes_skips_partitioning(self):

@@ -1,0 +1,139 @@
+"""Shared topology-table cache: keys, sharing, immutability, LRU, counters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.mapping.estimation import (
+    average_distance_vector,
+    centered_distance_matrix,
+)
+from repro.topology import FatTree, Hypercube, MatrixTopology, Mesh, Torus
+from repro.topology.cache import (
+    MAX_ENTRIES,
+    clear_topology_cache,
+    shared_get,
+    shared_put,
+    topology_cache_info,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_topology_cache()
+    yield
+    clear_topology_cache()
+
+
+class TestCacheKeys:
+    def test_shape_defined_topologies_have_keys(self):
+        assert Torus((4, 4)).cache_key() == ("Torus", (4, 4))
+        assert Mesh((2, 3)).cache_key() == ("Mesh", (2, 3))
+        assert Hypercube(3).cache_key() == ("Hypercube", 3)
+        assert FatTree(2, 3).cache_key() == ("FatTree", 2, 3)
+
+    def test_mesh_and_torus_keys_differ(self):
+        # Same shape, different metric — must never share tables.
+        assert Mesh((4, 4)).cache_key() != Torus((4, 4)).cache_key()
+
+    def test_content_defined_topology_has_no_key(self):
+        dist = Mesh((2, 2)).distance_matrix(np.int32)
+        assert MatrixTopology(np.array(dist)).cache_key() is None
+
+
+class TestSharing:
+    def test_distance_matrix_shared_across_instances(self):
+        a = Torus((4, 4)).distance_matrix(np.float64)
+        b = Torus((4, 4)).distance_matrix(np.float64)
+        assert a is b
+
+    def test_distance_matrix_cached_per_dtype(self):
+        topo = Torus((3, 3))
+        m64 = topo.distance_matrix(np.float64)
+        m32 = topo.distance_matrix(np.float32)
+        assert m64 is not m32
+        assert m64.dtype == np.float64 and m32.dtype == np.float32
+        np.testing.assert_array_equal(m64, m32.astype(np.float64))
+        # Repeat calls return the same objects, no recompute.
+        assert topo.distance_matrix(np.float64) is m64
+        assert topo.distance_matrix(np.float32) is m32
+
+    def test_average_distance_vector_instance_cached_and_shared(self):
+        t1, t2 = Torus((4, 4)), Torus((4, 4))
+        v1 = average_distance_vector(t1)
+        assert average_distance_vector(t1) is v1  # instance cache
+        assert average_distance_vector(t2) is v1  # shared cache
+        np.testing.assert_allclose(
+            v1, t1.distance_matrix(np.float64).mean(axis=0))
+
+    def test_centered_distance_matrix_shared_and_exact(self):
+        t1, t2 = Mesh((3, 4)), Mesh((3, 4))
+        c1 = centered_distance_matrix(t1)
+        assert centered_distance_matrix(t2) is c1
+        dist = t1.distance_matrix(np.float64)
+        np.testing.assert_array_equal(c1, dist - average_distance_vector(t1))
+
+    def test_matrix_topology_never_enters_shared_cache(self):
+        dist = Mesh((2, 3)).distance_matrix(np.int32)
+        topo = MatrixTopology(np.array(dist))
+        before = topology_cache_info()["entries"]
+        topo.distance_matrix(np.float64)
+        average_distance_vector(topo)
+        assert topology_cache_info()["entries"] == before
+        # The per-instance caches still work.
+        assert topo.distance_matrix(np.float64) is topo.distance_matrix(np.float64)
+
+
+class TestImmutability:
+    def test_cached_arrays_are_read_only(self):
+        topo = Torus((3, 3))
+        for arr in (
+            topo.distance_matrix(np.float64),
+            average_distance_vector(topo),
+            centered_distance_matrix(topo),
+        ):
+            assert not arr.flags.writeable
+            with pytest.raises(ValueError):
+                arr[0] = 0
+
+
+class TestCounters:
+    def test_hit_miss_counters(self):
+        prof = obs.enable()
+        try:
+            Torus((5, 5)).distance_matrix(np.float64)
+            misses = prof.counters.get("topology.cache.misses", 0)
+            assert misses >= 1
+            assert prof.counters.get("topology.cache.hits", 0) == 0
+            Torus((5, 5)).distance_matrix(np.float64)
+            assert prof.counters["topology.cache.hits"] >= 1
+            assert prof.counters["topology.cache.misses"] == misses
+        finally:
+            obs.disable()
+
+
+class TestEviction:
+    def test_lru_bounds_entries(self):
+        for n in range(2, 2 + MAX_ENTRIES + 8):
+            Mesh((n,)).distance_matrix(np.float64)
+        info = topology_cache_info()
+        assert info["entries"] <= MAX_ENTRIES
+        # The newest shape survived; the oldest was evicted.
+        keys = info["keys"]
+        assert (("Mesh", (2 + MAX_ENTRIES + 7,)), "distance_matrix",
+                np.dtype(np.float64).str) in keys
+
+    def test_clear_returns_count(self):
+        Torus((3, 3)).distance_matrix(np.float64)
+        Mesh((2, 2)).distance_matrix(np.float64)
+        assert clear_topology_cache() >= 2
+        assert topology_cache_info() == {"entries": 0, "bytes": 0, "keys": []}
+
+    def test_shared_put_get_roundtrip(self):
+        arr = np.arange(4.0)
+        stored = shared_put(("test-key",), arr)
+        assert stored is arr and not arr.flags.writeable
+        assert shared_get(("test-key",)) is arr
+        assert shared_get(("absent",)) is None
