@@ -14,15 +14,35 @@ snapshots into one artifact via :meth:`repro.obs.Profiler.merge`, so the
 profile a parallel run writes has the same schema (and, up to scheduling
 noise in the wall times, the same content) as a serial one. Reports are
 printed in submission order regardless of completion order.
+
+The runner is crash-resilient (see ``docs/ROBUSTNESS.md``): every
+experiment runs inside a per-experiment guard that captures the failure
+with its id and traceback instead of letting one crashed worker abort the
+sweep. ``--keep-going`` finishes the remaining experiments after a
+failure; ``--retries N`` re-runs a failed experiment with doubling delay;
+``--timeout S`` bounds each experiment's wall time; ``--resume PATH``
+reads a previous ``--profile`` artifact and re-executes only the
+experiments that did not complete in it. Failures are recorded per
+experiment (status, error, traceback, attempts) in the profile's
+``context.experiment_status``, and the exit code is nonzero whenever any
+experiment did not finish.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import dataclasses
+import os
+import signal
 import sys
+import threading
+import time
+import traceback as traceback_module
 from collections.abc import Callable
 from pathlib import Path
 
+from repro.exceptions import ProfileError
 from repro.experiments import (
     fig01_02,
     fig03_04,
@@ -35,7 +55,7 @@ from repro.experiments import (
 )
 from repro.experiments.common import ExperimentResult
 
-__all__ = ["main", "EXPERIMENTS", "PAPER_EXPERIMENTS"]
+__all__ = ["main", "EXPERIMENTS", "PAPER_EXPERIMENTS", "ExperimentOutcome"]
 
 #: the paper's artifacts: experiment id -> run(quick, seed) callable
 PAPER_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
@@ -58,6 +78,24 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "scaling": supplementary.run_scaling,
 }
 
+#: Environment hook for fault-injection testing (CI exercises it): a
+#: comma-separated list of experiment ids that raise instead of running.
+FAIL_ENV = "REPRO_EXPERIMENTS_FAIL"
+
+
+@dataclasses.dataclass
+class ExperimentOutcome:
+    """What happened to one experiment of a sweep."""
+
+    exp_id: str
+    status: str  # "ok" | "failed" | "timeout" | "skipped"
+    result: ExperimentResult | None = None
+    snapshot: dict | None = None
+    error: str | None = None
+    traceback: str | None = None
+    attempts: int = 0
+    resumed: bool = False  # ok carried over from a --resume profile
+
 
 def _run_one(exp_id: str, quick: bool, seed: int, profiled: bool):
     """Worker body: run one experiment, return ``(result, snapshot | None)``.
@@ -67,6 +105,12 @@ def _run_one(exp_id: str, quick: bool, seed: int, profiled: bool):
     because several registry entries are lambdas, which do not pickle.
     """
     from repro import obs
+
+    inject = os.environ.get(FAIL_ENV, "")
+    if inject and exp_id in {part.strip() for part in inject.split(",")}:
+        raise RuntimeError(
+            f"injected failure for experiment {exp_id!r} (${FAIL_ENV})"
+        )
 
     prof = obs.enable() if profiled else None
     try:
@@ -78,8 +122,113 @@ def _run_one(exp_id: str, quick: bool, seed: int, profiled: bool):
             obs.disable()
 
 
+class _ExperimentTimeout(Exception):
+    """Raised inside the serial path when --timeout expires."""
+
+
+@contextlib.contextmanager
+def _alarm(seconds: float | None):
+    """SIGALRM-based wall-clock bound for the serial path.
+
+    A no-op when no timeout is set, on platforms without ``SIGALRM``, or
+    off the main thread (signal handlers are main-thread only).
+    """
+    usable = (
+        seconds is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _handler(signum, frame):
+        raise _ExperimentTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _handler)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _execute_serial(
+    exp_id: str,
+    quick: bool,
+    seed: int,
+    profiled: bool,
+    retries: int,
+    retry_delay: float,
+    timeout: float | None,
+) -> ExperimentOutcome:
+    """Run one experiment in-process with timeout + retry/backoff."""
+    delay = retry_delay
+    status, error, tb = "failed", None, None
+    for attempt in range(1, retries + 2):
+        try:
+            with _alarm(timeout):
+                result, snap = _run_one(exp_id, quick, seed, profiled)
+            return ExperimentOutcome(
+                exp_id, "ok", result=result, snapshot=snap, attempts=attempt
+            )
+        except _ExperimentTimeout:
+            status = "timeout"
+            error = f"timed out after {timeout}s"
+            tb = None
+        except Exception as exc:  # noqa: BLE001 - the guard is the point
+            status = "failed"
+            error = f"{type(exc).__name__}: {exc}"
+            tb = traceback_module.format_exc()
+        if attempt <= retries:
+            time.sleep(delay)
+            delay *= 2
+    return ExperimentOutcome(
+        exp_id, status, error=error, traceback=tb, attempts=retries + 1
+    )
+
+
+def _await_future(future, exp_id: str, timeout: float | None):
+    """Resolve one pool future into (status, result, snapshot, error, tb).
+
+    The per-future guard of the parallel path: a worker exception is
+    captured with the experiment id attached instead of propagating a bare
+    traceback that would abort every remaining experiment.
+    """
+    from concurrent.futures import TimeoutError as FuturesTimeout
+
+    try:
+        result, snap = future.result(timeout=timeout)
+        return "ok", result, snap, None, None
+    except FuturesTimeout:
+        future.cancel()
+        return "timeout", None, None, f"timed out after {timeout}s", None
+    except Exception as exc:  # noqa: BLE001 - the guard is the point
+        return (
+            "failed",
+            None,
+            None,
+            f"[{exp_id}] {type(exc).__name__}: {exc}",
+            traceback_module.format_exc(),
+        )
+
+
+def _load_completed(resume_path: Path) -> set[str]:
+    """Experiment ids recorded as completed in a previous profile artifact."""
+    from repro import obs
+
+    doc = obs.load_profile(resume_path)
+    status_map = (doc.get("context") or {}).get("experiment_status") or {}
+    return {
+        exp_id
+        for exp_id, record in status_map.items()
+        if isinstance(record, dict) and record.get("status") == "ok"
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code (0 = every experiment ok)."""
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Reproduce the tables and figures of the TopoLB paper.",
@@ -99,47 +248,153 @@ def main(argv: list[str] | None = None) -> int:
                         help="record telemetry and write a repro-profile-v1 JSON here")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="run experiments in N worker processes (default: 1)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                        help="wall-clock bound per experiment")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="re-run a failed experiment up to N times "
+                             "(doubling delay between attempts)")
+    parser.add_argument("--retry-delay", type=float, default=1.0,
+                        metavar="SECONDS",
+                        help="initial delay before the first retry (default: 1)")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="continue the sweep past a failed experiment "
+                             "(failures are still reported and reflected in "
+                             "the exit code)")
+    parser.add_argument("--resume", type=Path, metavar="PROFILE",
+                        help="skip experiments recorded as completed in a "
+                             "previous --profile artifact")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.retries < 0:
+        parser.error("--retries must be >= 0")
+    if args.timeout is not None and args.timeout <= 0:
+        parser.error("--timeout must be positive")
+    if args.retry_delay <= 0:
+        parser.error("--retry-delay must be positive")
 
     from repro import obs
 
     ids = list(PAPER_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     quick = not args.full
     prof = obs.Profiler() if args.profile is not None else None
+    profiled = prof is not None
 
-    if args.jobs > 1 and len(ids) > 1:
+    outcomes: dict[str, ExperimentOutcome] = {}
+    if args.resume is not None:
+        try:
+            completed = _load_completed(args.resume)
+        except (ProfileError, OSError) as exc:
+            parser.error(f"--resume {args.resume}: {exc}")
+        for exp_id in ids:
+            if exp_id in completed:
+                outcomes[exp_id] = ExperimentOutcome(exp_id, "ok", resumed=True)
+    to_run = [exp_id for exp_id in ids if exp_id not in outcomes]
+
+    aborted = False
+    if args.jobs > 1 and len(to_run) > 1:
         from concurrent.futures import ProcessPoolExecutor
 
-        with ProcessPoolExecutor(max_workers=min(args.jobs, len(ids))) as pool:
-            futures = {
-                exp_id: pool.submit(
-                    _run_one, exp_id, quick, args.seed, prof is not None
-                )
-                for exp_id in ids
-            }
-            outcomes = [futures[exp_id].result() for exp_id in ids]
-        for result, snap in outcomes:
-            print(result.to_json() if args.json else result.to_text())
-            print()
-            if prof is not None:
-                # Fold worker telemetry in submission order so the merged
-                # artifact is deterministic under any completion order.
-                prof.merge(snap)
-    else:
-        if prof is not None:
-            obs.enable(prof)
+        pool = ProcessPoolExecutor(max_workers=min(args.jobs, len(to_run)))
+        timed_out = False
         try:
-            for exp_id in ids:
-                result, _ = _run_one(exp_id, quick, args.seed, False)
-                print(result.to_json() if args.json else result.to_text())
-                print()
+            futures = {
+                exp_id: pool.submit(_run_one, exp_id, quick, args.seed, profiled)
+                for exp_id in to_run
+            }
+            for exp_id in to_run:
+                if aborted:
+                    futures[exp_id].cancel()
+                    outcomes[exp_id] = ExperimentOutcome(
+                        exp_id, "skipped",
+                        error="not run: earlier experiment failed "
+                              "(use --keep-going to finish the sweep)",
+                    )
+                    continue
+                status, result, snap, error, tb = _await_future(
+                    futures[exp_id], exp_id, args.timeout
+                )
+                attempts, delay = 1, args.retry_delay
+                while status != "ok" and attempts <= args.retries:
+                    if status == "timeout":
+                        timed_out = True
+                    time.sleep(delay)
+                    delay *= 2
+                    attempts += 1
+                    retry = pool.submit(_run_one, exp_id, quick, args.seed, profiled)
+                    status, result, snap, error, tb = _await_future(
+                        retry, exp_id, args.timeout
+                    )
+                if status == "timeout":
+                    timed_out = True
+                outcomes[exp_id] = ExperimentOutcome(
+                    exp_id, status, result=result, snapshot=snap,
+                    error=error, traceback=tb, attempts=attempts,
+                )
+                if status != "ok" and not args.keep_going:
+                    aborted = True
         finally:
-            if prof is not None:
-                obs.disable()
+            # A timed-out worker may still be computing; do not block the
+            # parent on it (the abandoned process exits with the worker
+            # pool's queues once its experiment finishes).
+            pool.shutdown(wait=not timed_out, cancel_futures=True)
+    else:
+        for exp_id in to_run:
+            if aborted:
+                outcomes[exp_id] = ExperimentOutcome(
+                    exp_id, "skipped",
+                    error="not run: earlier experiment failed "
+                          "(use --keep-going to finish the sweep)",
+                )
+                continue
+            outcome = _execute_serial(
+                exp_id, quick, args.seed, profiled,
+                args.retries, args.retry_delay, args.timeout,
+            )
+            outcomes[exp_id] = outcome
+            if outcome.status != "ok" and not args.keep_going:
+                aborted = True
+
+    # ---- report in submission order; merge telemetry deterministically ----
+    failed_ids: list[str] = []
+    for exp_id in ids:
+        outcome = outcomes[exp_id]
+        if outcome.status == "ok" and not outcome.resumed:
+            print(outcome.result.to_json() if args.json else outcome.result.to_text())
+            print()
+            if prof is not None and outcome.snapshot is not None:
+                prof.merge(outcome.snapshot)
+        elif outcome.resumed:
+            print(
+                f"== {exp_id}: skipped (completed in {args.resume}) ==",
+                file=sys.stderr,
+            )
+        else:
+            failed_ids.append(exp_id)
+            print(
+                f"== {exp_id}: {outcome.status.upper()} "
+                f"after {outcome.attempts} attempt(s): {outcome.error} ==",
+                file=sys.stderr,
+            )
+            if outcome.traceback:
+                print(outcome.traceback, file=sys.stderr)
+    if failed_ids:
+        print(f"failed experiments: {', '.join(failed_ids)}", file=sys.stderr)
 
     if prof is not None:
+        experiment_status: dict[str, dict] = {}
+        for exp_id in ids:
+            outcome = outcomes[exp_id]
+            record: dict = {"status": outcome.status}
+            if outcome.resumed:
+                record["resumed_from"] = str(args.resume)
+            else:
+                record["attempts"] = outcome.attempts
+            if outcome.error is not None:
+                record["error"] = outcome.error
+            if outcome.traceback is not None:
+                record["traceback"] = outcome.traceback
+            experiment_status[exp_id] = record
         doc = obs.build_profile(
             prof,
             command="repro-experiments " + " ".join(ids),
@@ -148,11 +403,12 @@ def main(argv: list[str] | None = None) -> int:
                 "seed": args.seed,
                 "quick": quick,
                 "jobs": args.jobs,
+                "experiment_status": experiment_status,
             },
         )
         obs.save_profile(doc, args.profile)
         print(f"profile written to {args.profile}", file=sys.stderr)
-    return 0
+    return 1 if any(outcomes[e].status != "ok" for e in ids) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests

@@ -1,0 +1,419 @@
+"""Fault model: seedable fault sets and degraded machine wrappers.
+
+Real BlueGene/L-class machines seldom run pristine: drained nodes and failed
+links leave holes in the torus, and service actions throttle individual
+links. This module makes that the common case the rest of the library can
+talk about:
+
+* :class:`FaultSet` — an immutable, hashable description of what is broken
+  (dead nodes, dead links, slow links). :meth:`FaultSet.generate` draws one
+  deterministically from a seed, so experiments over degraded machines are
+  bit-reproducible.
+* :class:`DegradedTopology` — a :class:`~repro.topology.base.Topology`
+  wrapper that recomputes distances and routes *around* the holes via BFS
+  over the surviving links. Node ids are preserved (processor 17 is still
+  processor 17, it is just dead), so mappings, traces and telemetry stay
+  comparable with the pristine machine.
+
+Distances to or from a dead processor — and between healthy processors a
+fault disconnects — are the sentinel ``num_nodes`` (one more than any real
+path can be), so the tables stay finite and metric. The mappers never read
+those entries: they receive the healthy-processor mask
+(:meth:`DegradedTopology.allowed_mask`) and place tasks on survivors only.
+
+The degraded tables fold the fault signature into the shared topology cache
+key (:meth:`DegradedTopology.cache_key`), so a degraded machine can never
+alias a pristine machine's cached tables — or another fault pattern's.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.topology.base import Topology
+
+__all__ = ["FaultSet", "DegradedTopology"]
+
+
+def _normalize_link(link) -> tuple[int, int]:
+    try:
+        a, b = link
+    except (TypeError, ValueError) as exc:
+        raise TopologyError(f"link must be an (a, b) pair, got {link!r}") from exc
+    a, b = int(a), int(b)
+    if a == b:
+        raise TopologyError(f"link endpoints must differ, got ({a}, {b})")
+    return (a, b) if a < b else (b, a)
+
+
+class FaultSet:
+    """An immutable set of machine faults: dead nodes, dead and slow links.
+
+    Parameters
+    ----------
+    dead_nodes:
+        Processor ids that are down. Links incident to a dead node are
+        implicitly dead and need not be listed.
+    dead_links:
+        Undirected links ``(a, b)`` that are down (either order; stored
+        normalized with ``a < b``).
+    slow_links:
+        ``(a, b, factor)`` triples: the link survives but carries only
+        ``factor`` (in ``(0, 1]``) of its nominal bandwidth. A link may not
+        be both dead and slow.
+    """
+
+    __slots__ = ("_dead_nodes", "_dead_links", "_slow_links")
+
+    def __init__(
+        self,
+        dead_nodes: Iterable[int] = (),
+        dead_links: Iterable[tuple[int, int]] = (),
+        slow_links: Iterable[tuple[int, int, float]] = (),
+    ):
+        self._dead_nodes = tuple(sorted({int(v) for v in dead_nodes}))
+        if any(v < 0 for v in self._dead_nodes):
+            raise TopologyError(f"dead node ids must be >= 0, got {self._dead_nodes}")
+        self._dead_links = tuple(sorted({_normalize_link(link) for link in dead_links}))
+        slow: dict[tuple[int, int], float] = {}
+        for entry in slow_links:
+            try:
+                a, b, factor = entry
+            except (TypeError, ValueError) as exc:
+                raise TopologyError(
+                    f"slow link must be an (a, b, factor) triple, got {entry!r}"
+                ) from exc
+            link = _normalize_link((a, b))
+            factor = float(factor)
+            if not 0.0 < factor <= 1.0:
+                raise TopologyError(
+                    f"slow-link factor must be in (0, 1], got {factor} for {link}"
+                )
+            if link in slow and slow[link] != factor:
+                raise TopologyError(f"conflicting factors for slow link {link}")
+            slow[link] = factor
+        self._slow_links = tuple(sorted(slow.items()))
+        dead = set(self._dead_links)
+        overlap = [link for link, _ in self._slow_links if link in dead]
+        if overlap:
+            raise TopologyError(f"links cannot be both dead and slow: {overlap}")
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def dead_nodes(self) -> tuple[int, ...]:
+        """Failed processor ids, ascending."""
+        return self._dead_nodes
+
+    @property
+    def dead_links(self) -> tuple[tuple[int, int], ...]:
+        """Failed undirected links, normalized ``a < b``, sorted."""
+        return self._dead_links
+
+    @property
+    def slow_links(self) -> tuple[tuple[tuple[int, int], float], ...]:
+        """``((a, b), factor)`` pairs for degraded-bandwidth links, sorted."""
+        return self._slow_links
+
+    @property
+    def is_empty(self) -> bool:
+        """True when nothing at all is broken."""
+        return not (self._dead_nodes or self._dead_links or self._slow_links)
+
+    def signature(self) -> tuple:
+        """A stable, hashable identity of this fault pattern.
+
+        Folded into cache keys and usable as a dict key; two fault sets with
+        equal signatures degrade a machine identically.
+        """
+        return (self._dead_nodes, self._dead_links, self._slow_links)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, FaultSet) and self.signature() == other.signature()
+
+    def __hash__(self) -> int:
+        return hash(self.signature())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<FaultSet dead_nodes={len(self._dead_nodes)} "
+            f"dead_links={len(self._dead_links)} slow_links={len(self._slow_links)}>"
+        )
+
+    # ------------------------------------------------------------ generation
+    @classmethod
+    def generate(
+        cls,
+        topology: Topology,
+        seed: int = 0,
+        node_rate: float = 0.0,
+        link_rate: float = 0.0,
+        slow_rate: float = 0.0,
+        slow_factor: float = 0.25,
+    ) -> "FaultSet":
+        """Draw a fault set for ``topology`` deterministically from ``seed``.
+
+        ``node_rate`` of the processors die (rounded to the nearest count),
+        then ``link_rate`` of the links *not* already killed by a dead
+        endpoint die, then ``slow_rate`` of the surviving links are throttled
+        to ``slow_factor`` of nominal bandwidth. The same seed always yields
+        the bit-identical fault set.
+        """
+        for name, rate in (("node_rate", node_rate),
+                           ("link_rate", link_rate),
+                           ("slow_rate", slow_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise TopologyError(f"{name} must be in [0, 1], got {rate}")
+        rng = np.random.default_rng(seed)
+        p = topology.num_nodes
+
+        num_dead = int(round(node_rate * p))
+        if num_dead >= p:
+            raise TopologyError(
+                f"node_rate={node_rate} would kill all {p} processors"
+            )
+        dead_nodes = sorted(
+            int(v) for v in rng.choice(p, size=num_dead, replace=False)
+        )
+        dead_set = set(dead_nodes)
+
+        # Links killed by a dead endpoint are already gone; sample the rest.
+        live_links = [
+            link for link in topology.links()
+            if link[0] not in dead_set and link[1] not in dead_set
+        ]
+        num_dead_links = int(round(link_rate * len(live_links)))
+        dead_idx = rng.choice(len(live_links), size=num_dead_links, replace=False)
+        dead_links = [live_links[int(i)] for i in sorted(dead_idx)]
+
+        surviving = [
+            link for i, link in enumerate(live_links)
+            if i not in set(int(j) for j in dead_idx)
+        ]
+        num_slow = int(round(slow_rate * len(surviving)))
+        slow_idx = rng.choice(len(surviving), size=num_slow, replace=False)
+        slow_links = [
+            (*surviving[int(i)], slow_factor) for i in sorted(slow_idx)
+        ]
+        return cls(dead_nodes=dead_nodes, dead_links=dead_links,
+                   slow_links=slow_links)
+
+    # ------------------------------------------------------------ validation
+    def validate(self, topology: Topology) -> None:
+        """Check every referenced node/link actually exists in ``topology``.
+
+        Raises :class:`~repro.exceptions.TopologyError` otherwise.
+        """
+        p = topology.num_nodes
+        for v in self._dead_nodes:
+            if v >= p:
+                raise TopologyError(f"dead node {v} out of range [0, {p})")
+        for (a, b) in self._dead_links:
+            if b >= p or b not in topology.neighbors(a):
+                raise TopologyError(
+                    f"dead link ({a}, {b}) is not a link of {topology.name}"
+                )
+        for (a, b), _factor in self._slow_links:
+            if b >= p or b not in topology.neighbors(a):
+                raise TopologyError(
+                    f"slow link ({a}, {b}) is not a link of {topology.name}"
+                )
+
+    # --------------------------------------------------------------- helpers
+    def bandwidth_overrides(
+        self, bandwidth: float
+    ) -> dict[tuple[int, int], float]:
+        """Per-link bandwidth overrides for the network simulator.
+
+        Maps each slow link to ``bandwidth * factor``; feed the result to
+        :class:`~repro.netsim.simulator.NetworkSimulator`'s
+        ``link_bandwidths`` argument.
+        """
+        return {link: float(bandwidth) * factor
+                for link, factor in self._slow_links}
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{len(self._dead_nodes)} dead nodes, "
+            f"{len(self._dead_links)} dead links, "
+            f"{len(self._slow_links)} slow links"
+        )
+
+
+class DegradedTopology(Topology):
+    """A machine with holes: ``base`` minus the faults in ``faults``.
+
+    Keeps the base machine's node ids and count; dead processors stay
+    addressable (so traces and mappings remain comparable) but have no
+    links. Distances and routes are recomputed by BFS over the surviving
+    links, so they honestly reflect detours around failures — unlike the
+    pristine closed forms. Pairs with no surviving path (and every pair
+    involving a dead processor) get the finite sentinel distance
+    :attr:`unreachable_distance` ( = ``num_nodes``, longer than any real
+    path), keeping the matrix metric without infinities.
+
+    The mappers recognize this class and automatically restrict placement
+    to :meth:`allowed_mask`; the network simulator routes over it like any
+    other topology.
+    """
+
+    def __init__(self, base: Topology, faults: FaultSet):
+        if isinstance(base, DegradedTopology):
+            raise TopologyError(
+                "nesting DegradedTopology is not supported; merge the fault "
+                "sets instead"
+            )
+        faults.validate(base)
+        super().__init__(base.num_nodes)
+        self._base = base
+        self._faults = faults
+
+        p = base.num_nodes
+        healthy = np.ones(p, dtype=bool)
+        healthy[list(faults.dead_nodes)] = False
+        if not healthy.any():
+            raise TopologyError("a degraded machine needs at least one healthy node")
+        self._healthy = healthy
+        self._healthy.flags.writeable = False
+
+        dead_links = set(faults.dead_links)
+        dead_nodes = set(faults.dead_nodes)
+        # Surviving adjacency, ascending per node: BFS visits neighbors in id
+        # order, which makes every distance/route deterministic.
+        adjacency: list[list[int]] = []
+        for v in range(p):
+            if v in dead_nodes:
+                adjacency.append([])
+                continue
+            adjacency.append([
+                u for u in sorted(base.neighbors(v))
+                if u not in dead_nodes
+                and (min(v, u), max(v, u)) not in dead_links
+            ])
+        self._adjacency = adjacency
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def base(self) -> Topology:
+        """The pristine machine this wraps."""
+        return self._base
+
+    @property
+    def faults(self) -> FaultSet:
+        """The applied fault set."""
+        return self._faults
+
+    @property
+    def unreachable_distance(self) -> int:
+        """Sentinel distance for dead/disconnected pairs ( = ``num_nodes``)."""
+        return self._num_nodes
+
+    def allowed_mask(self) -> np.ndarray:
+        """Read-only boolean mask of healthy (mappable) processors."""
+        return self._healthy
+
+    def healthy_nodes(self) -> np.ndarray:
+        """Ids of the healthy processors, ascending."""
+        return np.flatnonzero(self._healthy)
+
+    @property
+    def num_healthy(self) -> int:
+        """Number of surviving processors ``p'``."""
+        return int(self._healthy.sum())
+
+    # ------------------------------------------------------------- distances
+    def distance_row(self, node: int) -> np.ndarray:
+        node = self._check_node(node)
+        sentinel = self._num_nodes
+        row = np.full(self._num_nodes, sentinel, dtype=np.int64)
+        row[node] = 0
+        if not self._healthy[node]:
+            return row
+        adjacency = self._adjacency
+        frontier = deque((node,))
+        while frontier:
+            v = frontier.popleft()
+            dv = row[v] + 1
+            for u in adjacency[v]:
+                if row[u] > dv:
+                    row[u] = dv
+                    frontier.append(u)
+        return row
+
+    def diameter(self) -> int:
+        """Longest *finite* shortest path (dead/disconnected pairs ignored)."""
+        sentinel = self._num_nodes
+        best = 0
+        for v in self.healthy_nodes():
+            row = self.distance_row(int(v))
+            finite = row[row < sentinel]
+            if finite.size:
+                best = max(best, int(finite.max()))
+        return best
+
+    def cache_key(self) -> tuple | None:
+        base_key = self._base.cache_key()
+        if base_key is None:
+            return None
+        return ("Degraded", base_key, self._faults.signature())
+
+    # ----------------------------------------------------------- connectivity
+    def neighbors(self, node: int) -> list[int]:
+        return list(self._adjacency[self._check_node(node)])
+
+    # ---------------------------------------------------------------- routing
+    def route(self, src: int, dst: int) -> list[int]:
+        """Deterministic BFS shortest path over the surviving links.
+
+        Unlike the base machine's closed-form (e.g. dimension-ordered)
+        routes, the degraded route detours around holes. Raises
+        :class:`~repro.exceptions.TopologyError` when either endpoint is
+        dead or no surviving path exists.
+        """
+        src = self._check_node(src)
+        dst = self._check_node(dst)
+        if not (self._healthy[src] and self._healthy[dst]):
+            raise TopologyError(
+                f"no route {src} -> {dst}: endpoint processor is dead"
+            )
+        if src == dst:
+            return [src]
+        # BFS with parent tracking; ascending adjacency means the parent of
+        # every node is the lowest-id predecessor on any shortest path.
+        parent = np.full(self._num_nodes, -1, dtype=np.int64)
+        parent[src] = src
+        frontier = deque((src,))
+        while frontier:
+            v = frontier.popleft()
+            for u in self._adjacency[v]:
+                if parent[u] < 0:
+                    parent[u] = v
+                    if u == dst:
+                        frontier.clear()
+                        break
+                    frontier.append(u)
+        if parent[dst] < 0:
+            raise TopologyError(
+                f"no route {src} -> {dst}: faults disconnect the machine "
+                f"({self._faults.describe()})"
+            )
+        path = [dst]
+        while path[-1] != src:
+            path.append(int(parent[path[-1]]))
+        path.reverse()
+        return path
+
+    # ------------------------------------------------------------------ misc
+    @property
+    def name(self) -> str:
+        return f"degraded({self._base.name}; {self._faults.describe()})"
+
+    def coords(self, node: int) -> tuple[int, ...]:
+        return self._base.coords(node)
+
+    def index(self, coords) -> int:
+        return self._base.index(coords)

@@ -11,7 +11,36 @@ from repro.exceptions import MappingError
 from repro.taskgraph.graph import TaskGraph
 from repro.topology.base import Topology
 
-__all__ = ["Mapping", "Mapper"]
+__all__ = ["Mapping", "Mapper", "resolve_allowed"]
+
+
+def resolve_allowed(
+    topology: Topology, allowed: np.ndarray | Sequence[bool] | None
+) -> np.ndarray | None:
+    """Normalize a mapper's allowed-processor mask.
+
+    ``None`` on a :class:`~repro.faults.DegradedTopology` resolves to its
+    healthy-processor mask — so ``mapper.map(graph, degraded)`` "just works"
+    and never places a task on a dead processor. ``None`` on any other
+    topology stays ``None`` (the classic every-processor case). An explicit
+    mask is validated (shape ``(p,)``, at least one allowed processor) and
+    returned as a boolean copy.
+    """
+    if allowed is None:
+        from repro.faults import DegradedTopology
+
+        if isinstance(topology, DegradedTopology):
+            return topology.allowed_mask()
+        return None
+    mask = np.array(allowed, dtype=bool)
+    if mask.shape != (topology.num_nodes,):
+        raise MappingError(
+            f"allowed mask must have shape ({topology.num_nodes},), "
+            f"got {mask.shape}"
+        )
+    if not mask.any():
+        raise MappingError("allowed mask permits no processors at all")
+    return mask
 
 
 class Mapping:
@@ -59,6 +88,15 @@ class Mapping:
         """True when every processor hosts exactly one task."""
         if self._graph.num_tasks != self._topology.num_nodes:
             return False
+        return self.is_injective()
+
+    def is_injective(self) -> bool:
+        """True when no processor hosts more than one task.
+
+        Weaker than :meth:`is_bijection`: on a degraded machine a valid
+        one-task-per-processor mapping covers only the healthy subset, so it
+        is injective without being a bijection over all ``p`` processors.
+        """
         return len(np.unique(self._assignment)) == self._graph.num_tasks
 
     @property
@@ -100,7 +138,21 @@ class Mapper(abc.ABC):
     #: Class-level strategy name used by the runtime registry.
     strategy_name: str = "mapper"
 
-    def _check_sizes(self, graph: TaskGraph, topology: Topology) -> int:
+    def _check_sizes(
+        self,
+        graph: TaskGraph,
+        topology: Topology,
+        allowed: np.ndarray | None = None,
+    ) -> int:
+        if allowed is not None:
+            capacity = int(allowed.sum())
+            if graph.num_tasks > capacity:
+                raise MappingError(
+                    f"{type(self).__name__} cannot place {graph.num_tasks} "
+                    f"tasks on {capacity} allowed processors of "
+                    f"{topology.name} (insufficient healthy capacity)"
+                )
+            return graph.num_tasks
         if graph.num_tasks != topology.num_nodes:
             raise MappingError(
                 f"{type(self).__name__} needs |tasks| == |processors|; "

@@ -13,8 +13,11 @@ from __future__ import annotations
 
 import numpy as np
 
+import inspect
+
 from repro import obs
-from repro.mapping.base import Mapper, Mapping
+from repro.exceptions import MappingError
+from repro.mapping.base import Mapper, Mapping, resolve_allowed
 from repro.mapping.refine import RefineTopoLB
 from repro.partition.base import Partitioner
 from repro.taskgraph.coalesce import coalesce
@@ -69,11 +72,28 @@ class TwoPhaseMapper(Mapper):
         """The most recent group-level mapping (for hop-byte accounting)."""
         return self._last_group_mapping
 
-    def map(self, graph: TaskGraph, topology: Topology) -> Mapping:
-        p = topology.num_nodes
-        if graph.num_tasks == p:
-            # Already one task per processor: phase 1 is the identity.
-            groups = np.arange(p)
+    def map(
+        self,
+        graph: TaskGraph,
+        topology: Topology,
+        allowed: np.ndarray | None = None,
+    ) -> Mapping:
+        """Map ``graph``; on a degraded machine (or with an explicit
+        ``allowed`` mask) phase 1 partitions into one group per *healthy*
+        processor and phase 2 places groups on the allowed set only."""
+        allowed = resolve_allowed(topology, allowed)
+        p = topology.num_nodes if allowed is None else int(allowed.sum())
+        if allowed is not None and not self._accepts_allowed(self._mapper):
+            raise MappingError(
+                f"{type(self._mapper).__name__} does not support an "
+                "allowed-processor mask; use TopoLB/TopoCentLB/RefineTopoLB "
+                "on degraded machines"
+            )
+        if graph.num_tasks == p or (allowed is not None and graph.num_tasks < p):
+            # One task per (healthy) processor — or fewer tasks than healthy
+            # processors, which the masked mappers place directly: phase 1
+            # is the identity.
+            groups = np.arange(graph.num_tasks)
             quotient = graph
         else:
             with obs.timer("pipeline.partition"):
@@ -84,11 +104,18 @@ class TwoPhaseMapper(Mapper):
                 quotient = coalesce(graph, groups, p)
 
         with obs.timer("pipeline.map"):
-            group_mapping = self._mapper.map(quotient, topology)
+            if allowed is None:
+                group_mapping = self._mapper.map(quotient, topology)
+            else:
+                group_mapping = self._mapper.map(quotient, topology, allowed=allowed)
         if self._refiner is not None:
             with obs.timer("pipeline.refine"):
-                group_mapping = self._refiner.refine(group_mapping)
+                group_mapping = self._refiner.refine(group_mapping, allowed=allowed)
 
         self._last_groups = groups
         self._last_group_mapping = group_mapping
         return Mapping(graph, topology, group_mapping.assignment[groups])
+
+    @staticmethod
+    def _accepts_allowed(mapper: Mapper) -> bool:
+        return "allowed" in inspect.signature(mapper.map).parameters

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import MappingError
-from repro.mapping.base import Mapper, Mapping
+from repro.mapping.base import Mapper, Mapping, resolve_allowed
 from repro.taskgraph.graph import TaskGraph
 from repro.topology.base import Topology
 from repro.utils.rng import as_rng
@@ -32,10 +32,21 @@ class RandomMapper(Mapper):
     def __init__(self, seed: int | np.random.Generator | None = None):
         self._seed = seed
 
-    def map(self, graph: TaskGraph, topology: Topology) -> Mapping:
-        n = self._check_sizes(graph, topology)
+    def map(
+        self,
+        graph: TaskGraph,
+        topology: Topology,
+        allowed: np.ndarray | None = None,
+    ) -> Mapping:
+        allowed = resolve_allowed(topology, allowed)
+        n = self._check_sizes(graph, topology, allowed)
         rng = as_rng(self._seed)
-        return Mapping(graph, topology, rng.permutation(n))
+        if allowed is None:
+            return Mapping(graph, topology, rng.permutation(n))
+        # Random injection into the allowed set: permute the healthy ids and
+        # take the first n (uniform over injective placements).
+        healthy = np.flatnonzero(allowed)
+        return Mapping(graph, topology, rng.permutation(healthy)[:n])
 
 
 class IdentityMapper(Mapper):

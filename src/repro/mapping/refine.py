@@ -37,7 +37,7 @@ import numpy as np
 
 from repro import obs
 from repro.exceptions import MappingError
-from repro.mapping.base import Mapper, Mapping
+from repro.mapping.base import Mapper, Mapping, resolve_allowed
 from repro.mapping.kernels import resolve_kernel
 from repro.taskgraph.graph import TaskGraph
 from repro.topology.base import Topology
@@ -89,16 +89,34 @@ class RefineTopoLB(Mapper):
         """The resolved kernel name ("vectorized" or "reference")."""
         return self._kernel
 
-    def map(self, graph: TaskGraph, topology: Topology) -> Mapping:
+    def map(
+        self,
+        graph: TaskGraph,
+        topology: Topology,
+        allowed: np.ndarray | None = None,
+    ) -> Mapping:
         if self._base is None:
             raise MappingError(
                 "RefineTopoLB.map needs a base mapper; either construct with "
                 "base=TopoLB() or call .refine(existing_mapping)"
             )
-        return self.refine(self._base.map(graph, topology))
+        allowed = resolve_allowed(topology, allowed)
+        if allowed is None:
+            base_mapping = self._base.map(graph, topology)
+        else:
+            base_mapping = self._base.map(graph, topology, allowed=allowed)
+        return self.refine(base_mapping, allowed=allowed)
 
-    def refine(self, mapping: Mapping) -> Mapping:
-        """Return a refined copy of ``mapping`` (never worse in hop-bytes)."""
+    def refine(
+        self, mapping: Mapping, allowed: np.ndarray | None = None
+    ) -> Mapping:
+        """Return a refined copy of ``mapping`` (never worse in hop-bytes).
+
+        ``allowed`` (auto-derived on degraded machines) declares the legal
+        processors; the refiner only swaps tasks pairwise, so a mapping that
+        starts within the allowed set stays within it.
+        """
+        allowed = resolve_allowed(mapping.topology, allowed)
         run = (
             self._refine_reference
             if self._kernel == "reference"
@@ -106,16 +124,30 @@ class RefineTopoLB(Mapper):
         )
         prof = obs.active()
         if prof is None:
-            return run(mapping)
+            return run(mapping, allowed=allowed)
         with prof.timer("refine.refine"):
-            return run(mapping, prof)
+            return run(mapping, prof, allowed=allowed)
 
-    def _setup(self, mapping: Mapping):
+    def _setup(self, mapping: Mapping, allowed: np.ndarray | None = None):
         """Shared kernel state: distance matrix, CSR arrays, cost table."""
         graph, topology = mapping.graph, mapping.topology
-        n = self._check_sizes(graph, topology)
-        if not mapping.is_bijection():
-            raise MappingError("RefineTopoLB requires a bijective mapping")
+        n = self._check_sizes(graph, topology, allowed)
+        if allowed is None:
+            if not mapping.is_bijection():
+                raise MappingError("RefineTopoLB requires a bijective mapping")
+        else:
+            # Masked runs relax bijectivity to "injective, within the allowed
+            # set": one task per processor, every task on a healthy one.
+            if not mapping.is_injective():
+                raise MappingError(
+                    "RefineTopoLB requires an injective mapping "
+                    "(one task per processor)"
+                )
+            if not allowed[mapping.assignment].all():
+                raise MappingError(
+                    "RefineTopoLB: mapping places tasks on disallowed "
+                    "(dead) processors"
+                )
         rng = as_rng(self._seed)
 
         dist = topology.distance_matrix(np.float64)
@@ -128,11 +160,18 @@ class RefineTopoLB(Mapper):
         return n, rng, dist, indptr, indices, weights, assign, cost
 
     def _refine_reference(
-        self, mapping: Mapping, prof: obs.Profiler | None = None
+        self, mapping: Mapping, prof: obs.Profiler | None = None,
+        allowed: np.ndarray | None = None,
     ) -> Mapping:
         """Row-at-a-time sweep — the executable specification of the block
-        sweep; the equivalence suite pins the two to identical outputs."""
-        n, rng, dist, indptr, indices, weights, assign, cost = self._setup(mapping)
+        sweep; the equivalence suite pins the two to identical outputs.
+
+        Swaps only exchange the processors of two mapped tasks, so the sweep
+        body is mask-oblivious: a mapping that starts on allowed processors
+        can never leave them."""
+        n, rng, dist, indptr, indices, weights, assign, cost = self._setup(
+            mapping, allowed
+        )
 
         ids = np.arange(n)
         sweeps = evaluations = accepted = 0
@@ -173,12 +212,15 @@ class RefineTopoLB(Mapper):
         return mapping.with_assignment(assign)
 
     def _refine_vectorized(
-        self, mapping: Mapping, prof: obs.Profiler | None = None
+        self, mapping: Mapping, prof: obs.Profiler | None = None,
+        allowed: np.ndarray | None = None,
     ) -> Mapping:
         """Block sweep: precompute ``(B, n)`` delta rows, consume them until
         the first accepted swap invalidates the block (see module docstring).
         """
-        n, rng, dist, indptr, indices, weights, assign, cost = self._setup(mapping)
+        n, rng, dist, indptr, indices, weights, assign, cost = self._setup(
+            mapping, allowed
+        )
 
         ids = np.arange(n)
         bsize = min(self._block_size, n)

@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import obs
-from repro.mapping.base import Mapper, Mapping
+from repro.mapping.base import Mapper, Mapping, resolve_allowed
 from repro.taskgraph.graph import TaskGraph
 from repro.topology.base import Topology
 from repro.utils.priority_queue import AddressableMaxHeap
@@ -28,24 +28,36 @@ class TopoCentLB(Mapper):
 
     strategy_name = "TopoCentLB"
 
-    def map(self, graph: TaskGraph, topology: Topology) -> Mapping:
+    def map(
+        self,
+        graph: TaskGraph,
+        topology: Topology,
+        allowed: np.ndarray | None = None,
+    ) -> Mapping:
+        """Map ``graph`` onto ``topology``; ``allowed`` restricts placement
+        to a processor mask (auto-derived on degraded machines)."""
+        allowed = resolve_allowed(topology, allowed)
         prof = obs.active()
         if prof is None:
-            return self._run(graph, topology)
+            return self._run(graph, topology, allowed=allowed)
         with prof.timer("topocentlb.map"):
-            return self._run(graph, topology, prof)
+            return self._run(graph, topology, prof, allowed=allowed)
 
     def _run(
         self,
         graph: TaskGraph,
         topology: Topology,
         prof: obs.Profiler | None = None,
+        allowed: np.ndarray | None = None,
     ) -> Mapping:
-        n = self._check_sizes(graph, topology)
+        n = self._check_sizes(graph, topology, allowed)
+        p = topology.num_nodes
         dist = topology.distance_matrix().astype(np.float64, copy=False)
         indptr, indices, weights = graph.csr_arrays()
 
-        avail = np.ones(n, dtype=bool)
+        # Free-processor mask; a masked run simply starts with the dead
+        # processors already consumed — the greedy cycle body is unchanged.
+        avail = np.ones(p, dtype=bool) if allowed is None else allowed.copy()
         assignment = np.full(n, -1, dtype=np.int64)
 
         # Heap key: communication volume to the placed set. Seed keys with a

@@ -35,7 +35,7 @@ import numpy as np
 
 from repro import obs
 from repro.exceptions import MappingError
-from repro.mapping.base import Mapper, Mapping
+from repro.mapping.base import Mapper, Mapping, resolve_allowed
 from repro.mapping.estimation import (
     EstimatorOrder,
     average_distance_vector,
@@ -114,15 +114,30 @@ class TopoLB(Mapper):
         """The resolved kernel name ("vectorized" or "reference")."""
         return self._kernel
 
-    def map(self, graph: TaskGraph, topology: Topology) -> Mapping:
-        n = self._check_sizes(graph, topology)
+    def map(
+        self,
+        graph: TaskGraph,
+        topology: Topology,
+        allowed: np.ndarray | None = None,
+    ) -> Mapping:
+        """Map ``graph`` onto ``topology``.
+
+        ``allowed`` restricts placement to a boolean processor mask (degraded
+        machines); ``None`` auto-derives the mask from a
+        :class:`~repro.faults.DegradedTopology` and means "every processor"
+        elsewhere. Masked runs place ``n <= p'`` tasks onto the ``p'``
+        allowed processors and raise :class:`MappingError` when capacity is
+        insufficient.
+        """
+        allowed = resolve_allowed(topology, allowed)
+        n = self._check_sizes(graph, topology, allowed)
         run = self._run_reference if self._kernel == "reference" else self._run_vectorized
         prof = obs.active()
         if prof is None:
-            assignment = run(graph, topology, n)
+            assignment = run(graph, topology, n, allowed=allowed)
         else:
             with prof.timer("topolb.map"):
-                assignment = run(graph, topology, n, prof)
+                assignment = run(graph, topology, n, prof, allowed=allowed)
         return Mapping(graph, topology, assignment)
 
     # ------------------------------------------------------------------ core
@@ -133,7 +148,8 @@ class TopoLB(Mapper):
     #: sharing one argmin) from degrading every cycle to O(n p).
     _RESERVE = 8
 
-    def _setup(self, graph: TaskGraph, topology: Topology, n: int):
+    def _setup(self, graph: TaskGraph, topology: Topology, n: int,
+               allowed: np.ndarray | None = None):
         """Shared kernel state: fest table, selection vectors, reserve arrays."""
         dist = topology.distance_matrix(self._dtype)
         indptr, indices, weights = graph.csr_arrays()
@@ -145,12 +161,23 @@ class TopoLB(Mapper):
         # copy=False: the cast is a no-op for float64 tables, and avg_all is
         # never mutated, so aliasing the shared read-only vector is safe
         # (avg_free, which the third-order path does mutate, is a real copy).
-        avg_all = average_distance_vector(topology).astype(self._dtype, copy=False)
+        # Masked runs take the expectation over the *allowed* set — the
+        # "arbitrary processor" a deferred task could land on is a healthy
+        # one — which is a per-fault-pattern vector, computed fresh (cheap,
+        # O(p * p'), and never shared-cached under the pristine key).
+        if allowed is None:
+            avg_all = average_distance_vector(topology).astype(self._dtype, copy=False)
+        else:
+            avg_all = average_distance_vector(topology, allowed).astype(
+                self._dtype, copy=False
+            )
         avg_free = avg_all.copy()  # only consulted by the third-order path
 
-        # fest table: rows = tasks, columns = processors.
+        # fest table: rows = tasks, columns = processors (p columns; equal to
+        # n in the classic unmasked case).
+        p = topology.num_nodes
         if order is EstimatorOrder.FIRST:
-            fest = np.zeros((n, n), dtype=self._dtype)
+            fest = np.zeros((n, p), dtype=self._dtype)
         else:
             # outer() of two dtype arrays is already dtype: no astype copy.
             fest = np.outer(unplaced_comm, avg_free)
@@ -162,23 +189,38 @@ class TopoLB(Mapper):
         topology: Topology,
         n: int,
         prof: obs.Profiler | None = None,
+        allowed: np.ndarray | None = None,
     ) -> np.ndarray:
         """The original scalar cycle body — kept verbatim as the executable
         specification the vectorized kernel is tested against."""
         (dist, indptr, indices, weights, unplaced_comm,
-         avg_all, avg_free, fest) = self._setup(graph, topology, n)
+         avg_all, avg_free, fest) = self._setup(graph, topology, n, allowed)
         order = self._order
+        p = topology.num_nodes
 
-        avail = np.ones(n, dtype=bool)
+        avail = np.ones(p, dtype=bool) if allowed is None else allowed.copy()
         unassigned = np.ones(n, dtype=bool)
-        avail_count = n
+        avail_count = int(avail.sum())
         assignment = np.full(n, -1, dtype=np.int64)
         # Additive penalty pushing consumed processors out of row minima
-        # (dtype-aware so float32 tables don't overflow).
+        # (dtype-aware so float32 tables don't overflow). Disallowed
+        # processors start penalized, which keeps them out of every reserve
+        # and argmin for the whole run — the reserve never needs more than
+        # n <= p' candidates, so the genuine (allowed) entries always fill it
+        # ahead of penalized ones.
         huge = np.finfo(self._dtype).max / 16
-        penalty = np.zeros(n, dtype=self._dtype)
+        penalty = np.zeros(p, dtype=self._dtype)
+        if allowed is not None:
+            penalty[~avail] = huge
 
-        f_sum = fest.sum(axis=1)
+        # Row sums over the *free* columns: all p columns in the classic
+        # case, the allowed subset under a mask (disallowed columns are
+        # never consumed, so the incremental "-= fest[:, pk]" bookkeeping
+        # stays consistent only if they are excluded from the start).
+        if allowed is None:
+            f_sum = fest.sum(axis=1)
+        else:
+            f_sum = fest @ avail.astype(self._dtype)
         f_min = np.empty(n, dtype=self._dtype)
         f_argmin = np.empty(n, dtype=np.int64)
 
@@ -300,6 +342,7 @@ class TopoLB(Mapper):
         topology: Topology,
         n: int,
         prof: obs.Profiler | None = None,
+        allowed: np.ndarray | None = None,
     ) -> np.ndarray:
         """Batched cycle body — bit-identical assignments to the reference.
 
@@ -328,21 +371,29 @@ class TopoLB(Mapper):
         elementwise evaluation order so tie-breaks cannot diverge.
         """
         (dist, indptr, indices, weights, unplaced_comm,
-         avg_all, avg_free, fest) = self._setup(graph, topology, n)
+         avg_all, avg_free, fest) = self._setup(graph, topology, n, allowed)
         order = self._order
         selection = self._selection
+        p = topology.num_nodes
 
-        avail = np.ones(n, dtype=bool)
+        avail = np.ones(p, dtype=bool) if allowed is None else allowed.copy()
         unassigned = np.ones(n, dtype=bool)
-        avail_count = n
+        avail_count = int(avail.sum())
         assignment = np.full(n, -1, dtype=np.int64)
         # Float view of the availability mask, maintained in O(1) per cycle
         # (the reference path re-casts the bool mask every cycle instead).
-        avail_f = np.ones(n, dtype=self._dtype)
+        avail_f = avail.astype(self._dtype)
 
         # f_sum feeds only the "gain" score; other selections never read it.
+        # Masked runs sum over the allowed columns only — the same free-set
+        # sums the reference kernel maintains.
         track_sum = selection == "gain"
-        f_sum = fest.sum(axis=1) if track_sum else None
+        if not track_sum:
+            f_sum = None
+        elif allowed is None:
+            f_sum = fest.sum(axis=1)
+        else:
+            f_sum = fest @ avail_f
         # Sentinel written into f_min on assignment: +inf sends the gain
         # score to -inf, -inf loses the max_cost argmax directly.
         f_min_poison = -np.inf if selection == "max_cost" else np.inf
@@ -361,12 +412,26 @@ class TopoLB(Mapper):
         # scatter-back is an exact inverse.
         res_ids = np.empty((n, reserve), dtype=np.int64)
         res_vals = np.empty((n, reserve), dtype=self._dtype)
-        for k in range(reserve):
-            am = fest.argmin(axis=1)
-            res_ids[:, k] = am
-            res_vals[:, k] = fest[ar, am]
-            fest[ar, am] = np.inf
-        fest[ar[:, None], res_ids] = res_vals
+        if allowed is None:
+            for k in range(reserve):
+                am = fest.argmin(axis=1)
+                res_ids[:, k] = am
+                res_vals[:, k] = fest[ar, am]
+                fest[ar, am] = np.inf
+            fest[ar[:, None], res_ids] = res_vals
+        else:
+            # Masked: extract from a copied allowed-column sub-matrix so the
+            # disallowed columns (which the reference keeps out via its huge
+            # penalty) can never win an argmin. allowed_ids is ascending, so
+            # the sub-matrix argmin tie-breaks toward the lowest allowed id —
+            # the same (value, id) order the reference's stable sort uses.
+            allowed_ids0 = np.flatnonzero(avail)
+            work = fest[:, allowed_ids0]  # fancy index: already a copy
+            for k in range(reserve):
+                am = work.argmin(axis=1)
+                res_ids[:, k] = allowed_ids0[am]
+                res_vals[:, k] = work[ar, am]
+                work[ar, am] = np.inf
         res_pos = np.zeros(n, dtype=np.int64)
         f_min = res_vals[:, 0].copy()
         f_argmin = res_ids[:, 0].copy()
@@ -384,15 +449,20 @@ class TopoLB(Mapper):
         # np.flatnonzero(avail), kept incrementally: consumed ids are shifted
         # out of an ascending buffer in place (ascending order is load-bearing
         # — it is what makes "first minimum position" mean "lowest id").
-        free_buf = np.arange(n)
-        nfree = n
-        free_ids = free_buf
+        free_buf = np.flatnonzero(avail)
+        nfree = avail_count
+        free_ids = free_buf[:nfree]
         # Second-order rows subtract the same static baseline every cycle;
         # the whole (p, p) difference table is hoisted not just out of the
         # loop but into the shared topology cache. (Third order recentres
-        # on avg_free, which moves every cycle.)
+        # on avg_free, which moves every cycle.) The masked baseline is the
+        # allowed-set average, a per-fault-pattern table built inline — the
+        # same elementwise dist[pk] - avg_all rows the reference computes.
         if order is EstimatorOrder.SECOND:
-            dma = centered_distance_matrix(topology, self._dtype)
+            if allowed is None:
+                dma = centered_distance_matrix(topology, self._dtype)
+            else:
+                dma = dist - avg_all
         # unplaced_comm only feeds the third-order recentring term — for the
         # other orders it is never read, so skip maintaining it.
         track_comm = order is EstimatorOrder.THIRD

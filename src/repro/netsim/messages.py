@@ -24,6 +24,14 @@ class Message:
     send_time: float
     deliver_time: float | None = None
     hops: int = 0
+    #: end-to-end retransmissions so far (fault injection; see simulator)
+    attempts: int = 0
+    #: True once the simulator gave up on the message (faults; never set
+    #: under the default unroutable_policy="raise")
+    dropped: bool = False
+    #: transient flag: a fault hit this message's current link; consumed by
+    #: the next already-scheduled progression event
+    faulted: bool = dataclasses.field(default=False, repr=False, compare=False)
 
     @property
     def latency(self) -> float:

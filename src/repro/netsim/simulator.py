@@ -73,7 +73,7 @@ class _Link:
     """FIFO transmission state of one directed link."""
 
     __slots__ = ("busy", "queue", "busy_time", "bytes_carried", "max_queue",
-                 "saturated")
+                 "saturated", "current")
 
     def __init__(self):
         self.busy = False
@@ -82,6 +82,7 @@ class _Link:
         self.bytes_carried = 0.0  # payload bytes that crossed this link
         self.max_queue = 0        # deepest FIFO backlog ever seen
         self.saturated = False    # currently past the saturation threshold
+        self.current = None       # in-flight (msg, route, hop, cb), for faults
 
 
 class NetworkSimulator:
@@ -105,6 +106,25 @@ class NetworkSimulator:
         queue first grows to this depth a ``netsim.link_saturated`` event is
         recorded (profiling only; see below), cleared once the queue drains
         empty.
+    max_retries / retry_delay / retry_backoff / retry_timeout:
+        Fault-recovery knobs (see :meth:`fail_link` / :meth:`fail_node`): a
+        message interrupted by a fault with no surviving adaptive route is
+        retransmitted end-to-end after ``retry_delay * retry_backoff**k``
+        microseconds on its ``k``-th attempt, up to ``max_retries`` times
+        and (when ``retry_timeout`` is set) only while the total elapsed
+        time since the original send stays within the timeout.
+    unroutable_policy:
+        What happens when a message is truly undeliverable (dead endpoint,
+        retries exhausted, retry timeout): ``"raise"`` (default) surfaces a
+        :class:`~repro.exceptions.SimulationError`; ``"drop"`` marks the
+        message dropped and counts ``netsim.dropped``.
+
+    Fault injection is deterministic: :meth:`schedule_link_failure` and
+    :meth:`schedule_node_failure` go through the event queue, and recovery
+    involves no randomness, so identical fault schedules replay bit-identical
+    outcomes. With profiling enabled the counters ``faults.injected``,
+    ``netsim.reroutes``, ``netsim.retries`` and ``netsim.dropped`` account
+    every fault-path decision.
 
     The simulator snapshots :func:`repro.obs.active` at construction time:
     enable profiling (``obs.enable()`` / ``obs.profiled()``) *before*
@@ -125,14 +145,26 @@ class NetworkSimulator:
         routing: RoutingPolicy = RoutingPolicy.DOR,
         link_bandwidths: dict[tuple[int, int], float] | None = None,
         saturation_depth: int = 8,
+        max_retries: int = 8,
+        retry_delay: float = 5.0,
+        retry_backoff: float = 2.0,
+        retry_timeout: float | None = None,
+        unroutable_policy: str = "raise",
     ):
         if bandwidth <= 0:
             raise SimulationError(f"bandwidth must be positive, got {bandwidth}")
         if link_bandwidths:
+            p = topology.num_nodes
             for link, bw in link_bandwidths.items():
                 if bw <= 0:
                     raise SimulationError(
                         f"link {link} bandwidth must be positive, got {bw}"
+                    )
+                a, b = int(link[0]), int(link[1])
+                if not (0 <= a < p and 0 <= b < p) or b not in topology.neighbors(a):
+                    raise SimulationError(
+                        f"link ({a}, {b}) in link_bandwidths is not a link "
+                        f"of {topology.name}"
                     )
         if nic_bandwidth is not None and nic_bandwidth <= 0:
             raise SimulationError(f"nic_bandwidth must be positive, got {nic_bandwidth}")
@@ -141,6 +173,23 @@ class NetworkSimulator:
         if saturation_depth < 1:
             raise SimulationError(
                 f"saturation_depth must be >= 1, got {saturation_depth}"
+            )
+        if max_retries < 0:
+            raise SimulationError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_delay <= 0:
+            raise SimulationError(f"retry_delay must be positive, got {retry_delay}")
+        if retry_backoff < 1.0:
+            raise SimulationError(
+                f"retry_backoff must be >= 1.0, got {retry_backoff}"
+            )
+        if retry_timeout is not None and retry_timeout <= 0:
+            raise SimulationError(
+                f"retry_timeout must be positive, got {retry_timeout}"
+            )
+        if unroutable_policy not in ("raise", "drop"):
+            raise SimulationError(
+                f"unroutable_policy must be 'raise' or 'drop', "
+                f"got {unroutable_policy!r}"
             )
         self._topology = topology
         self._bandwidth = float(bandwidth)
@@ -165,6 +214,14 @@ class NetworkSimulator:
         self.stats = MessageStats()
         self._saturation_depth = int(saturation_depth)
         self._prof = obs.active()
+        # Fault-injection state (see fail_link / fail_node / _on_fault).
+        self._max_retries = int(max_retries)
+        self._retry_delay = float(retry_delay)
+        self._retry_backoff = float(retry_backoff)
+        self._retry_timeout = None if retry_timeout is None else float(retry_timeout)
+        self._unroutable_policy = unroutable_policy
+        self._failed_channels: set[tuple] = set()
+        self._failed_nodes: set[int] = set()
 
     # ------------------------------------------------------------------ misc
     @property
@@ -207,12 +264,11 @@ class NetworkSimulator:
             route = [("nic_out", src), *route, ("nic_in", dst)]
         return route
 
-    def _pick_adaptive_route(self, key: tuple[int, int]) -> list[tuple]:
-        """Least-congested minimal route at injection time.
+    def _route_choices_for(self, key: tuple[int, int]) -> list[list[tuple]]:
+        """Cached minimal-route candidates for ``key = (src, dst)``.
 
-        On grid topologies the candidates are one minimal route per axis
-        order; elsewhere only the canonical route exists. Congestion score
-        of a route = queued messages + busy flags over its links right now.
+        On grid topologies: one minimal route per axis order; elsewhere only
+        the canonical route exists.
         """
         from itertools import permutations
 
@@ -234,6 +290,27 @@ class NetworkSimulator:
             else:
                 choices = [self._wrap_nic(topo.route_links(src, dst), src, dst)]
             self._route_choices[key] = choices
+        return choices
+
+    def _pick_adaptive_route(self, key: tuple[int, int]) -> list[tuple]:
+        """Least-congested minimal route at injection time.
+
+        Congestion score of a route = queued messages + busy flags over its
+        links right now; routes crossing failed links are avoided whenever a
+        surviving candidate exists.
+        """
+        choices = self._route_choices_for(key)
+        if self._failed_channels:
+            # Adaptive reroute-around-failure: restrict to candidates whose
+            # links all survive. When nothing survives, fall through with the
+            # full list — the message will hit the failed hop and take the
+            # retry/backoff path (it may be a transient the caller repairs).
+            healthy = [
+                route for route in choices
+                if not any(ch in self._failed_channels for ch in route)
+            ]
+            if healthy:
+                choices = healthy
         if len(choices) == 1:
             return choices[0]
         best, best_score = choices[0], None
@@ -303,6 +380,15 @@ class NetworkSimulator:
     # ------------------------------------------------------------ link logic
     def _head_arrival(self, msg: Message, route, hop: int, on_delivery) -> None:
         """The head of ``msg`` reached the input of ``route[hop]``."""
+        if msg.faulted:
+            # A fault hit this message's upstream link after its progression
+            # event was scheduled; the event carries the stale route.
+            msg.faulted = False
+            self._on_fault(msg, on_delivery)
+            return
+        if self._failed_channels and route[hop] in self._failed_channels:
+            self._on_fault(msg, on_delivery)
+            return
         link = self._link(route[hop])
         if link.busy:
             link.queue.append((msg, route, hop, on_delivery))
@@ -335,6 +421,7 @@ class NetworkSimulator:
         alpha = 0.0 if is_nic else self._alpha
         occupancy = alpha + serialization
         link.busy = True
+        link.current = (msg, route, hop, on_delivery)
         link.busy_time += occupancy
         link.bytes_carried += msg.size_bytes
         if self._prof is not None:
@@ -361,6 +448,7 @@ class NetworkSimulator:
 
     def _link_free(self, link: _Link) -> None:
         link.busy = False
+        link.current = None
         if link.queue:
             msg, route, hop, on_delivery = link.queue.popleft()
             self._start_transmission(link, msg, route, hop, on_delivery)
@@ -368,12 +456,177 @@ class NetworkSimulator:
             link.saturated = False
 
     def _deliver(self, msg: Message, on_delivery) -> None:
+        if msg.faulted:
+            msg.faulted = False
+            self._on_fault(msg, on_delivery)
+            return
+        if self._failed_nodes and (
+            msg.src in self._failed_nodes or msg.dst in self._failed_nodes
+        ):
+            # Covers local (same-processor) messages and a destination that
+            # died while the tail was still arriving.
+            self._on_fault(msg, on_delivery)
+            return
         msg.deliver_time = self.queue.now
         self.stats.record(msg)
         if self._prof is not None:
             self._prof.count("netsim.delivered")
         if on_delivery is not None:
             on_delivery(msg)
+
+    # ------------------------------------------------------------- faults
+    def _check_link(self, a: int, b: int) -> tuple[int, int]:
+        p = self._topology.num_nodes
+        if not (0 <= a < p and 0 <= b < p) or b not in self._topology.neighbors(a):
+            raise SimulationError(
+                f"({a}, {b}) is not a link of {self._topology.name}"
+            )
+        return a, b
+
+    def fail_link(self, a: int, b: int) -> None:
+        """Fail the undirected link ``(a, b)`` immediately (both directions).
+
+        The in-flight message (if any) and every queued message on the link
+        take the fault path: adaptive reroute around the failure when a
+        surviving minimal route exists, otherwise an end-to-end retransmit
+        with exponential backoff; retry/timeout exhaustion follows
+        ``unroutable_policy``. Counted as ``faults.injected`` (one per
+        undirected link) when profiling is enabled.
+        """
+        a, b = self._check_link(int(a), int(b))
+        if (a, b) in self._failed_channels:
+            return
+        if self._prof is not None:
+            self._prof.count("faults.injected")
+            self._prof.event(
+                "netsim.link_failed", time_us=self.queue.now, link=f"{a}<->{b}"
+            )
+        self._fail_channel((a, b))
+        self._fail_channel((b, a))
+
+    def fail_node(self, node: int) -> None:
+        """Fail processor ``node``: all its links and NIC channels go down.
+
+        Messages already heading to (or injected from) the dead processor
+        become unroutable — no reroute or retry can save them — and follow
+        ``unroutable_policy`` ("raise" surfaces a
+        :class:`~repro.exceptions.SimulationError`; "drop" records them and
+        counts ``netsim.dropped``).
+        """
+        node = int(node)
+        p = self._topology.num_nodes
+        if not 0 <= node < p:
+            raise SimulationError(f"node {node} out of range [0, {p})")
+        if node in self._failed_nodes:
+            return
+        if self._prof is not None:
+            self._prof.count("faults.injected")
+            self._prof.event(
+                "netsim.node_failed", time_us=self.queue.now, node=node
+            )
+        self._failed_nodes.add(node)
+        for nbr in self._topology.neighbors(node):
+            self._fail_channel((node, nbr))
+            self._fail_channel((nbr, node))
+        self._fail_channel(("nic_out", node))
+        self._fail_channel(("nic_in", node))
+
+    def schedule_link_failure(self, at: float, a: int, b: int) -> None:
+        """Fail link ``(a, b)`` at simulation time ``at`` (validated now)."""
+        a, b = self._check_link(int(a), int(b))
+        self.queue.schedule(float(at), lambda: self.fail_link(a, b))
+
+    def schedule_node_failure(self, at: float, node: int) -> None:
+        """Fail processor ``node`` at simulation time ``at`` (validated now)."""
+        node = int(node)
+        p = self._topology.num_nodes
+        if not 0 <= node < p:
+            raise SimulationError(f"node {node} out of range [0, {p})")
+        self.queue.schedule(float(at), lambda: self.fail_node(node))
+
+    def _fail_channel(self, channel: tuple) -> None:
+        """Mark one directed channel failed; evict its traffic."""
+        if channel in self._failed_channels:
+            return
+        self._failed_channels.add(channel)
+        link = self._links.get(channel)
+        if link is None:
+            return
+        if link.busy and link.current is not None:
+            # The in-flight message already has a progression event scheduled
+            # (next head arrival or final delivery); flag it so that event
+            # takes the fault path instead of advancing a dead route. The
+            # link's busy interval still completes via the pending
+            # _link_free event, as on a real machine where the failure is
+            # detected at the next hop.
+            link.current[0].faulted = True
+        if link.queue:
+            pending = list(link.queue)
+            link.queue.clear()
+            for qmsg, _route, _hop, qcb in pending:
+                self._on_fault(qmsg, qcb)
+
+    def _has_healthy_route(self, src: int, dst: int) -> bool:
+        choices = self._route_choices_for((src, dst))
+        return any(
+            all(ch not in self._failed_channels for ch in route)
+            for route in choices
+        )
+
+    def _on_fault(self, msg: Message, on_delivery) -> None:
+        """A fault interrupted ``msg``; reroute, retry, or give up."""
+        now = self.queue.now
+        if msg.src in self._failed_nodes or msg.dst in self._failed_nodes:
+            self._drop(msg, "endpoint processor failed")
+            return
+        if (
+            self._routing is RoutingPolicy.ADAPTIVE
+            and msg.src != msg.dst
+            and self._has_healthy_route(msg.src, msg.dst)
+        ):
+            # Adaptive routing sidesteps the failure with a surviving minimal
+            # route: re-inject now (injection re-picks the least-congested
+            # healthy candidate).
+            if self._prof is not None:
+                self._prof.count("netsim.reroutes")
+            self.queue.schedule(now, lambda: self._inject(msg, on_delivery))
+            return
+        # No route around it: end-to-end retransmit with exponential backoff.
+        if msg.attempts >= self._max_retries:
+            self._drop(msg, f"retries exhausted after {msg.attempts} attempts")
+            return
+        delay = self._retry_delay * self._retry_backoff ** msg.attempts
+        if (
+            self._retry_timeout is not None
+            and (now + delay) - msg.send_time > self._retry_timeout
+        ):
+            self._drop(
+                msg,
+                f"retry timeout exceeded ({self._retry_timeout} us since send)",
+            )
+            return
+        msg.attempts += 1
+        if self._prof is not None:
+            self._prof.count("netsim.retries")
+        self.queue.schedule(now + delay, lambda: self._inject(msg, on_delivery))
+
+    def _drop(self, msg: Message, reason: str) -> None:
+        if self._unroutable_policy == "raise":
+            raise SimulationError(
+                f"message {msg.msg_id} ({msg.src} -> {msg.dst}) is "
+                f"undeliverable: {reason}"
+            )
+        msg.dropped = True
+        if self._prof is not None:
+            self._prof.count("netsim.dropped")
+            self._prof.event(
+                "netsim.message_dropped",
+                time_us=self.queue.now,
+                msg_id=msg.msg_id,
+                src=msg.src,
+                dst=msg.dst,
+                reason=reason,
+            )
 
     # ------------------------------------------------------------------- run
     def run(self, max_events: int | None = None) -> float:

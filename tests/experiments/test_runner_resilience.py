@@ -1,0 +1,161 @@
+"""Crash resilience of the experiment runner: keep-going, retries, resume.
+
+Failures are injected through the ``REPRO_EXPERIMENTS_FAIL`` environment
+hook (a comma list of experiment ids that raise inside the worker body) —
+the same hook the CI fault-injection job uses.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.experiments import runner
+
+
+@pytest.fixture(autouse=True)
+def _quick_registry(monkeypatch):
+    # Two cheap experiments stand in for the full registry (fork start
+    # method: workers inherit the monkeypatched attributes).
+    from repro.experiments import fig01_02, fig05_06
+
+    monkeypatch.setattr(fig01_02, "QUICK_SIDES", (4,))
+    monkeypatch.setattr(fig05_06, "QUICK_P_2D", (9,))
+    monkeypatch.setattr(
+        runner, "PAPER_EXPERIMENTS",
+        {k: runner.EXPERIMENTS[k] for k in ("fig1_2", "fig5")},
+    )
+
+
+def _status(path):
+    return {
+        k: v["status"]
+        for k, v in obs.load_profile(path)["context"]["experiment_status"].items()
+    }
+
+
+class TestFailureCapture:
+    def test_serial_failure_reports_id_and_exits_nonzero(self, monkeypatch, capsys):
+        monkeypatch.setenv(runner.FAIL_ENV, "fig1_2")
+        assert runner.main(["fig1_2"]) == 1
+        err = capsys.readouterr().err
+        assert "fig1_2" in err and "FAILED" in err
+        assert "injected failure" in err  # traceback included
+
+    def test_without_keep_going_rest_is_skipped(self, monkeypatch, capsys):
+        monkeypatch.setenv(runner.FAIL_ENV, "fig1_2")
+        assert runner.main(["all"]) == 1
+        err = capsys.readouterr().err
+        assert "SKIPPED" in err and "fig5" in err
+
+    @pytest.mark.parametrize("jobs", ["1", "2"])
+    def test_keep_going_completes_the_sweep(self, monkeypatch, capsys,
+                                            tmp_path, jobs):
+        monkeypatch.setenv(runner.FAIL_ENV, "fig1_2")
+        out = tmp_path / "out.json"
+        code = runner.main(
+            ["all", "--jobs", jobs, "--keep-going", "--profile", str(out)]
+        )
+        assert code == 1  # exit reflects the failure
+        captured = capsys.readouterr()
+        assert "fig5" in captured.out  # the healthy experiment still ran
+        assert "failed experiments: fig1_2" in captured.err
+        st = _status(out)
+        assert st == {"fig1_2": "failed", "fig5": "ok"}
+        doc = obs.load_profile(out)
+        record = doc["context"]["experiment_status"]["fig1_2"]
+        assert "injected failure" in record["error"]
+        assert record["attempts"] == 1
+        assert "traceback" in record or jobs == "2"
+
+    def test_parallel_failure_carries_experiment_id(self, monkeypatch, capsys):
+        monkeypatch.setenv(runner.FAIL_ENV, "fig5")
+        assert runner.main(["all", "--jobs", "2", "--keep-going"]) == 1
+        err = capsys.readouterr().err
+        # satellite: the per-future guard attaches the experiment id
+        assert "fig5" in err and "RuntimeError" in err
+
+    def test_profile_written_even_when_everything_fails(self, monkeypatch,
+                                                        tmp_path, capsys):
+        monkeypatch.setenv(runner.FAIL_ENV, "fig1_2,fig5")
+        out = tmp_path / "out.json"
+        assert runner.main(["all", "--keep-going", "--profile", str(out)]) == 1
+        assert _status(out) == {"fig1_2": "failed", "fig5": "failed"}
+
+
+class TestRetries:
+    def test_retries_are_counted(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(runner.FAIL_ENV, "fig1_2")
+        out = tmp_path / "out.json"
+        code = runner.main(
+            ["fig1_2", "--retries", "2", "--retry-delay", "0.01",
+             "--profile", str(out)]
+        )
+        assert code == 1
+        doc = obs.load_profile(out)
+        assert doc["context"]["experiment_status"]["fig1_2"]["attempts"] == 3
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(SystemExit):
+            runner.main(["fig1_2", "--retries", "-1"])
+
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(SystemExit):
+            runner.main(["fig1_2", "--timeout", "0"])
+
+
+class TestTimeout:
+    def test_serial_timeout_records_status(self, monkeypatch, tmp_path, capsys):
+        def hang(quick=True, seed=0):
+            import time
+
+            time.sleep(30.0)
+
+        monkeypatch.setitem(runner.EXPERIMENTS, "fig1_2", hang)
+        out = tmp_path / "out.json"
+        code = runner.main(
+            ["fig1_2", "--timeout", "0.2", "--profile", str(out)]
+        )
+        assert code == 1
+        assert _status(out) == {"fig1_2": "timeout"}
+        assert "TIMEOUT" in capsys.readouterr().err
+
+
+class TestResume:
+    def test_resume_reruns_only_failures(self, monkeypatch, tmp_path, capsys):
+        first = tmp_path / "first.json"
+        monkeypatch.setenv(runner.FAIL_ENV, "fig1_2")
+        assert runner.main(
+            ["all", "--keep-going", "--profile", str(first)]
+        ) == 1
+        assert _status(first) == {"fig1_2": "failed", "fig5": "ok"}
+        capsys.readouterr()  # drain the first run's output
+
+        monkeypatch.delenv(runner.FAIL_ENV)
+        second = tmp_path / "second.json"
+        code = runner.main(
+            ["all", "--resume", str(first), "--profile", str(second)]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        # fig5 was skipped (note on stderr), fig1_2 actually ran
+        assert "fig5: skipped" in captured.err
+        assert "fig1_2" in captured.out
+        assert "fig5" not in captured.out
+        st = obs.load_profile(second)["context"]["experiment_status"]
+        assert st["fig1_2"]["status"] == "ok" and "resumed_from" not in st["fig1_2"]
+        assert st["fig5"]["status"] == "ok"
+        assert st["fig5"]["resumed_from"] == str(first)
+
+    def test_resume_with_nothing_to_do(self, tmp_path, capsys):
+        first = tmp_path / "first.json"
+        assert runner.main(["all", "--profile", str(first)]) == 0
+        capsys.readouterr()
+        assert runner.main(["all", "--resume", str(first)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == ""
+        assert captured.err.count("skipped") == 2
+
+    def test_resume_from_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            runner.main(["all", "--resume", str(tmp_path / "nope.json")])

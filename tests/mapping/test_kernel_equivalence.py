@@ -103,6 +103,53 @@ class TestRefineEquivalence:
         np.testing.assert_array_equal(again_vec.assignment, first.assignment)
 
 
+class TestMaskedEquivalence:
+    """The allowed-processor mask (degraded machines) preserves equivalence."""
+
+    def _degraded(self):
+        from repro.faults import DegradedTopology, FaultSet
+
+        base = Torus((4, 4))
+        faults = FaultSet(dead_nodes=[5, 10], dead_links=[(0, 1)])
+        return DegradedTopology(base, faults)
+
+    @pytest.mark.parametrize("order", ORDERS)
+    @pytest.mark.parametrize("selection", SELECTIONS)
+    def test_topolb_masked_bit_identical(self, order, selection):
+        deg = self._degraded()
+        graph = random_taskgraph(deg.num_healthy, edge_prob=0.3, seed=2)
+        for dtype in DTYPES:
+            ref = TopoLB(order=order, selection=selection, dtype=dtype,
+                         kernel="reference").map(graph, deg)
+            vec = TopoLB(order=order, selection=selection, dtype=dtype,
+                         kernel="vectorized").map(graph, deg)
+            np.testing.assert_array_equal(
+                vec.assignment, ref.assignment,
+                err_msg=f"masked order={order} selection={selection} "
+                        f"dtype={np.dtype(dtype)}",
+            )
+            assert deg.allowed_mask()[vec.assignment].all()
+
+    def test_topolb_masked_underfull(self):
+        """Fewer tasks than healthy processors (n < p')."""
+        deg = self._degraded()
+        graph = random_taskgraph(deg.num_healthy - 3, edge_prob=0.3, seed=4)
+        ref = TopoLB(kernel="reference").map(graph, deg)
+        vec = TopoLB(kernel="vectorized").map(graph, deg)
+        np.testing.assert_array_equal(vec.assignment, ref.assignment)
+
+    @pytest.mark.parametrize("block_size", (1, 7, 64))
+    def test_refine_masked_bit_identical(self, block_size):
+        deg = self._degraded()
+        graph = random_taskgraph(deg.num_healthy, edge_prob=0.3, seed=6)
+        start = RandomMapper(seed=11).map(graph, deg)
+        ref = RefineTopoLB(kernel="reference", seed=1).refine(start)
+        vec = RefineTopoLB(kernel="vectorized", seed=1,
+                           block_size=block_size).refine(start)
+        np.testing.assert_array_equal(vec.assignment, ref.assignment)
+        assert deg.allowed_mask()[vec.assignment].all()
+
+
 class TestKernelSelection:
     def test_invalid_kernel_rejected(self):
         with pytest.raises(MappingError):

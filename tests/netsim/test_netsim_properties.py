@@ -76,8 +76,35 @@ def test_property_link_bytes_match_hop_bytes(seed, model):
 
 @given(seed=st.integers(0, 50_000), scale=st.floats(1.5, 10.0))
 @settings(max_examples=25, deadline=None)
-def test_property_bandwidth_scaling_never_hurts(seed, scale):
-    """Scaling every link's bandwidth up cannot increase any delivery time."""
+def test_property_bandwidth_scaling_uncontended(seed, scale):
+    """One message alone: delivery time strictly improves with bandwidth.
+
+    Per-message monotonicity does NOT hold under contention — faster links
+    reorder FIFO queueing, and an individual message can be delivered
+    *later* on the faster machine (seed 83 is a concrete counterexample:
+    message 0 arrives at t=4.18 with bandwidth 50 but t=5.25 with 100). So
+    the per-message claim is only tested uncontended; the contended
+    aggregate claim is the makespan property below.
+    """
+    topo = Torus((3, 3))
+    rng = np.random.default_rng(seed)
+    a, b = (int(x) for x in rng.integers(0, 9, size=2))
+    size = float(rng.uniform(10, 500))
+    times = {}
+    for bw in (50.0, 50.0 * scale):
+        sim = NetworkSimulator(topo, bandwidth=bw, alpha=0.2)
+        msg = sim.send(a, b, size)
+        sim.run()
+        times[bw] = msg.deliver_time
+    assert times[50.0 * scale] <= times[50.0] + 1e-9
+
+
+@given(seed=st.integers(0, 50_000), scale=st.floats(1.5, 10.0))
+@settings(max_examples=25, deadline=None)
+def test_property_bandwidth_scaling_makespan(seed, scale):
+    """Contended traffic: the *last* delivery never gets later with more
+    bandwidth, and total link-busy time shrinks by exactly the scale factor
+    (both hold even though individual deliveries may reorder)."""
     topo = Torus((3, 3))
     rng = np.random.default_rng(seed)
     plan = [
@@ -85,11 +112,15 @@ def test_property_bandwidth_scaling_never_hurts(seed, scale):
          float(rng.uniform(10, 500)), float(rng.uniform(0, 5)))
         for _ in range(12)
     ]
-    times = {}
+    ends, busy = {}, {}
     for bw in (50.0, 50.0 * scale):
         sim = NetworkSimulator(topo, bandwidth=bw, alpha=0.2)
         msgs = [sim.send(a, b, s, at=t) for a, b, s, t in plan]
-        sim.run()
-        times[bw] = [m.deliver_time for m in msgs]
-    for slow, fast in zip(times[50.0], times[50.0 * scale]):
-        assert fast <= slow + 1e-9
+        end = sim.run()
+        ends[bw] = max(m.deliver_time for m in msgs)
+        busy[bw] = sum(
+            m.size_bytes * m.hops / bw for m in msgs
+        )  # serialization work carried by the links
+        assert end >= ends[bw] - 1e-9
+    assert ends[50.0 * scale] <= ends[50.0] + 1e-9
+    assert busy[50.0 * scale] == pytest.approx(busy[50.0] / scale)

@@ -1,0 +1,209 @@
+"""Fault sets and degraded topologies: determinism, metric soundness, caching."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.faults import DegradedTopology, FaultSet
+from repro.topology.cache import clear_topology_cache
+from repro.topology.mesh import Mesh
+from repro.topology.torus import Torus
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_topology_cache()
+    yield
+    clear_topology_cache()
+
+
+# --------------------------------------------------------------- FaultSet
+class TestFaultSet:
+    def test_generate_is_bit_deterministic_per_seed(self):
+        topo = Torus((8, 8))
+        kwargs = dict(seed=7, node_rate=0.1, link_rate=0.05, slow_rate=0.05)
+        a = FaultSet.generate(topo, **kwargs)
+        b = FaultSet.generate(topo, **kwargs)
+        assert a == b
+        assert a.signature() == b.signature()
+        assert hash(a) == hash(b)
+
+    def test_different_seeds_differ(self):
+        topo = Torus((8, 8))
+        a = FaultSet.generate(topo, seed=1, node_rate=0.1, link_rate=0.05)
+        b = FaultSet.generate(topo, seed=2, node_rate=0.1, link_rate=0.05)
+        assert a != b
+
+    def test_rates_produce_expected_counts(self):
+        topo = Torus((8, 8))
+        fs = FaultSet.generate(topo, seed=3, node_rate=0.05, link_rate=0.02)
+        assert len(fs.dead_nodes) == round(0.05 * 64)
+        assert len(fs.dead_links) >= 1
+        assert not fs.is_empty
+
+    def test_links_normalized_and_sorted(self):
+        fs = FaultSet(dead_links=[(5, 2), (1, 0)])
+        assert fs.dead_links == ((0, 1), (2, 5))
+
+    def test_slow_links_validated(self):
+        with pytest.raises(TopologyError):
+            FaultSet(slow_links=[(0, 1, 0.0)])
+        with pytest.raises(TopologyError):
+            FaultSet(slow_links=[(0, 1, 1.5)])
+        with pytest.raises(TopologyError):
+            FaultSet(dead_links=[(0, 1)], slow_links=[(1, 0, 0.5)])
+
+    def test_self_link_rejected(self):
+        with pytest.raises(TopologyError):
+            FaultSet(dead_links=[(3, 3)])
+
+    def test_bad_rates_rejected(self):
+        topo = Torus((4, 4))
+        with pytest.raises(TopologyError):
+            FaultSet.generate(topo, node_rate=1.5)
+        with pytest.raises(TopologyError):
+            FaultSet.generate(topo, node_rate=1.0)  # would kill everything
+
+    def test_validate_against_topology(self):
+        topo = Mesh((4, 4))
+        with pytest.raises(TopologyError):
+            FaultSet(dead_nodes=[99]).validate(topo)
+        with pytest.raises(TopologyError):
+            FaultSet(dead_links=[(0, 5)]).validate(topo)  # not a mesh link
+        FaultSet(dead_nodes=[3], dead_links=[(0, 1)]).validate(topo)
+
+    def test_bandwidth_overrides(self):
+        fs = FaultSet(slow_links=[(0, 1, 0.25)])
+        assert fs.bandwidth_overrides(100.0) == {(0, 1): 25.0}
+
+
+# ------------------------------------------------------- DegradedTopology
+class TestDegradedTopology:
+    def _degraded(self):
+        base = Torus((8, 8))
+        faults = FaultSet.generate(base, seed=3, node_rate=0.05, link_rate=0.02)
+        return base, faults, DegradedTopology(base, faults)
+
+    def test_preserves_node_ids_and_count(self):
+        base, faults, deg = self._degraded()
+        assert deg.num_nodes == base.num_nodes
+        assert deg.num_healthy == base.num_nodes - len(faults.dead_nodes)
+        assert np.array_equal(
+            deg.healthy_nodes(), np.flatnonzero(deg.allowed_mask())
+        )
+
+    def test_dead_node_has_no_links(self):
+        _, faults, deg = self._degraded()
+        for v in faults.dead_nodes:
+            assert deg.neighbors(v) == []
+
+    def test_dead_link_removed_both_ways(self):
+        _, faults, deg = self._degraded()
+        for a, b in faults.dead_links:
+            assert b not in deg.neighbors(a)
+            assert a not in deg.neighbors(b)
+
+    def test_distances_detour_around_faults(self):
+        base, faults, deg = self._degraded()
+        d_base = base.distance_matrix()
+        d_deg = deg.distance_matrix()
+        healthy = deg.allowed_mask()
+        hh = np.ix_(healthy, healthy)
+        reachable = d_deg[hh] < deg.unreachable_distance
+        # Removing links can only lengthen (never shorten) healthy paths.
+        assert (d_deg[hh][reachable] >= d_base[hh][reachable]).all()
+
+    def test_sentinel_for_dead_pairs(self):
+        _, faults, deg = self._degraded()
+        d = deg.distance_matrix()
+        for v in faults.dead_nodes:
+            assert d[v, v] == 0
+            others = np.arange(deg.num_nodes) != v
+            assert (d[v, others] == deg.unreachable_distance).all()
+            assert (d[others, v] == deg.unreachable_distance).all()
+
+    def test_metric_axioms_hold_with_sentinel(self):
+        _, _, deg = self._degraded()
+        d = deg.distance_matrix().astype(np.int64)
+        assert (d == d.T).all()
+        assert (np.diag(d) == 0).all()
+        p = deg.num_nodes
+        # triangle inequality, sentinel included
+        assert (d[:, None, :] <= d[:, :, None] + d[None, :, :]).all()
+
+    def test_route_is_valid_and_deterministic(self):
+        _, _, deg = self._degraded()
+        d = deg.distance_matrix()
+        healthy = deg.healthy_nodes()
+        src, dst = int(healthy[0]), int(healthy[-1])
+        route = deg.route(src, dst)
+        assert route == deg.route(src, dst)
+        assert route[0] == src and route[-1] == dst
+        assert len(route) - 1 == d[src, dst]
+        for a, b in zip(route, route[1:]):
+            assert b in deg.neighbors(a)
+
+    def test_route_to_dead_endpoint_raises(self):
+        _, faults, deg = self._degraded()
+        dead = faults.dead_nodes[0]
+        alive = int(deg.healthy_nodes()[0])
+        with pytest.raises(TopologyError):
+            deg.route(alive, dead)
+        with pytest.raises(TopologyError):
+            deg.route(dead, alive)
+
+    def test_nesting_rejected(self):
+        base, faults, deg = self._degraded()
+        with pytest.raises(TopologyError):
+            DegradedTopology(deg, FaultSet())
+
+    def test_all_dead_rejected(self):
+        base = Mesh((2, 1))
+        with pytest.raises(TopologyError):
+            DegradedTopology(base, FaultSet(dead_nodes=[0, 1]))
+
+    def test_invalid_faults_rejected_at_construction(self):
+        base = Mesh((4, 4))
+        with pytest.raises(TopologyError):
+            DegradedTopology(base, FaultSet(dead_nodes=[64]))
+
+
+# ------------------------------------------------------------ cache keys
+class TestDegradedCaching:
+    def test_pristine_and_degraded_tables_are_distinct(self):
+        """Same machine shape, different fault state -> different tables.
+
+        A degraded machine must never alias the pristine machine's cached
+        distance matrix (or another fault pattern's)."""
+        base = Torus((8, 8))
+        faults = FaultSet(dead_links=[(0, 1)])
+        deg = DegradedTopology(base, faults)
+        d_base = base.distance_matrix()
+        d_deg = deg.distance_matrix()
+        assert d_base.shape == d_deg.shape
+        assert d_base is not d_deg
+        assert not np.array_equal(d_base, d_deg)  # the hole lengthens paths
+        # Fresh instances hit the right (separate) shared entries.
+        assert np.array_equal(
+            DegradedTopology(Torus((8, 8)), faults).distance_matrix(), d_deg
+        )
+        assert np.array_equal(Torus((8, 8)).distance_matrix(), d_base)
+
+    def test_cache_key_folds_fault_signature(self):
+        base = Torus((8, 8))
+        fa = FaultSet(dead_nodes=[3])
+        fb = FaultSet(dead_nodes=[4])
+        ka = DegradedTopology(base, fa).cache_key()
+        kb = DegradedTopology(base, fb).cache_key()
+        assert ka is not None and kb is not None
+        assert ka != kb
+        assert ka != base.cache_key()
+        assert ka == DegradedTopology(Torus((8, 8)), fa).cache_key()
+
+    def test_uncacheable_base_stays_uncacheable(self):
+        class NoKey(Mesh):
+            def cache_key(self):
+                return None
+
+        deg = DegradedTopology(NoKey((3, 3)), FaultSet(dead_nodes=[0]))
+        assert deg.cache_key() is None
