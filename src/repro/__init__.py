@@ -60,6 +60,13 @@ from repro.partition import (
     MultilevelPartitioner,
     SpectralPartitioner,
 )
+from repro.engine import (
+    MappingEngine,
+    MappingRequest,
+    MappingResult,
+    graph_from_spec,
+    mapper_from_spec,
+)
 from repro.mapping import (
     Mapper,
     Mapping,
@@ -117,6 +124,11 @@ __all__ = [
     "RecursiveBisectionPartitioner",
     "MultilevelPartitioner",
     "SpectralPartitioner",
+    "MappingEngine",
+    "MappingRequest",
+    "MappingResult",
+    "graph_from_spec",
+    "mapper_from_spec",
     "Mapper",
     "Mapping",
     "TopoLB",

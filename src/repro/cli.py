@@ -44,7 +44,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="input is an LB dump (repro-lbdump-v1) instead")
     parser.add_argument("--topology", help="machine spec, e.g. torus:8x8x8")
     parser.add_argument("--strategy", default="TopoLB",
-                        help="strategy name (see --list-strategies)")
+                        help="strategy name or mapper spec string, e.g. "
+                             "TopoLB or pipeline:inner=topolb,order=3;refine=on "
+                             "(see --list-strategies)")
     parser.add_argument("--seed", type=int, default=0, help="RNG seed")
     # Literal choices so building the parser stays import-light; validated
     # again by set_default_kernel against repro.mapping.kernels.KERNELS.
@@ -62,20 +64,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--stats", type=Path, metavar="PROFILE",
                         help="summarize an existing profile JSON and exit")
     parser.add_argument("--list-strategies", action="store_true",
-                        help="print registered strategy names and exit")
+                        help="print the unified mapper registry (strategy "
+                             "aliases plus spec kinds and their options) and exit")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
-    from repro.runtime.strategies import STRATEGIES
-
     parser = build_parser()
     args = parser.parse_args(argv)
 
     if args.list_strategies:
-        for name in sorted(STRATEGIES):
-            print(name)
+        from repro.engine import describe_mappers
+
+        try:
+            print("\n".join(describe_mappers()))
+        except BrokenPipeError:  # e.g. `repro-map --list-strategies | head`
+            sys.stderr.close()
         return 0
 
     if args.stats is not None:
@@ -121,6 +126,7 @@ def run_mapping(graph_path: Path, is_lb_dump: bool, topology_spec: str,
                 kernel: str | None = None) -> dict:
     """Load inputs, run the strategy, optionally replay/profile/write."""
     from repro import obs
+    from repro.engine import canonical_command, canonical_mapper_spec
     from repro.mapping.estimation import (
         average_distance_vector,
         centered_distance_matrix,
@@ -168,11 +174,15 @@ def run_mapping(graph_path: Path, is_lb_dump: bool, topology_spec: str,
         if prof is not None:
             doc = obs.build_profile(
                 prof,
-                command=f"repro-map --strategy {strategy} --topology {topology_spec}",
+                # The full canonical invocation — strategy in canonical spec
+                # form plus the seed and kernel flags — so a recorded profile
+                # identifies the exact run that produced it.
+                command=canonical_command(strategy, topology_spec, seed, kernel),
                 context={
                     "taskgraph": str(graph_path),
                     "topology": topology_spec,
                     "strategy": strategy,
+                    "spec": canonical_mapper_spec(strategy),
                     "seed": seed,
                     "kernel": get_default_kernel(),
                     "num_objects": report["num_objects"],

@@ -1,0 +1,361 @@
+"""MappingEngine — one request/result path for every mapping in the repo.
+
+A :class:`MappingRequest` names the three inputs (task graph, topology,
+mapper) either as live objects or as spec strings, plus the run knobs (seed,
+kernel, allowed mask, profile flag). :meth:`MappingEngine.run` resolves the
+specs through the single factories (:func:`graph_from_spec`,
+:func:`repro.topology.factory.topology_from_spec`,
+:func:`repro.engine.specs.mapper_from_spec`), builds the shared
+:class:`~repro.mapping.context.MappingContext`, maps, and returns a
+:class:`MappingResult` carrying the assignment, the canonical metrics block
+(one distance gather for all metrics), reproducibility metadata, and — when
+requested — a ``repro-profile-v1`` document.
+
+:meth:`MappingEngine.run_many` batches requests over a process pool with
+per-request retries (the same pool/retry discipline as
+``repro.experiments.runner``); within each worker process, same-shape
+topologies share distance tables through :mod:`repro.topology.cache`, so a
+batch over one machine pays the O(p^2) table cost once.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import SpecError
+from repro.engine.specs import mapper_from_spec, parse_mapper_spec
+
+__all__ = [
+    "MappingRequest",
+    "MappingResult",
+    "MappingEngine",
+    "graph_from_spec",
+    "canonical_command",
+]
+
+
+# ---------------------------------------------------------------- graph specs
+def _parse_graph_options(items: list[str], spec: str,
+                         allowed: tuple[str, ...]) -> dict[str, float]:
+    options: dict[str, float] = {}
+    for item in items:
+        item = item.strip()
+        if not item:
+            continue
+        key, sep, value = item.partition("=")
+        key = key.strip()
+        if not sep or key not in allowed:
+            raise SpecError(
+                f"bad graph option {item!r} in {spec!r}; expected key=value "
+                f"with key in {allowed}"
+            )
+        try:
+            options[key] = float(value)
+        except ValueError as exc:
+            raise SpecError(f"bad graph option value {item!r}") from exc
+    return options
+
+
+def graph_from_spec(spec: str):
+    """Build a :class:`~repro.taskgraph.TaskGraph` from a spec string.
+
+    Supported kinds::
+
+        file:<path>                  task-graph JSON (repro-taskgraph-v1)
+        lbdump:<path>                LB dump (repro-lbdump-v1)
+        mesh2d:<R>x<C>[;bytes=F]     2D stencil pattern
+        mesh3d:<X>x<Y>x<Z>[;bytes=F] 3D stencil pattern
+        ring:<N>[;bytes=F]           ring pattern
+        alltoall:<N>[;bytes=F]       complete graph
+        random:<N>[;p=F][;seed=I]    Erdős–Rényi random graph
+    """
+    if not isinstance(spec, str) or ":" not in spec:
+        raise SpecError(
+            f"graph spec {spec!r} must look like 'kind:params' "
+            "(e.g. mesh2d:8x8;bytes=1024 or file:app.json)"
+        )
+    kind, _, params = spec.partition(":")
+    kind = kind.strip().lower()
+    if kind == "file":
+        from repro.taskgraph.io import load_taskgraph
+
+        return load_taskgraph(Path(params))
+    if kind == "lbdump":
+        from repro.runtime.lbdb import LBDatabase
+
+        return LBDatabase.load(Path(params)).to_taskgraph()
+
+    head, *rest = params.split(";")
+    if kind in ("mesh2d", "mesh3d"):
+        from repro.taskgraph.patterns import mesh2d_pattern, mesh3d_pattern
+
+        try:
+            shape = tuple(int(part) for part in head.split("x"))
+        except ValueError as exc:
+            raise SpecError(f"bad graph shape {head!r}: {exc}") from exc
+        options = _parse_graph_options(rest, spec, ("bytes",))
+        bytes_ = options.get("bytes", 1.0)
+        if kind == "mesh2d":
+            if len(shape) != 2:
+                raise SpecError(f"mesh2d needs RxC, got {head!r}")
+            return mesh2d_pattern(*shape, message_bytes=bytes_)
+        if len(shape) != 3:
+            raise SpecError(f"mesh3d needs XxYxZ, got {head!r}")
+        return mesh3d_pattern(*shape, message_bytes=bytes_)
+    if kind in ("ring", "alltoall"):
+        from repro.taskgraph.patterns import all_to_all_pattern, ring_pattern
+
+        try:
+            n = int(head)
+        except ValueError as exc:
+            raise SpecError(f"bad task count {head!r}") from exc
+        options = _parse_graph_options(rest, spec, ("bytes",))
+        maker = ring_pattern if kind == "ring" else all_to_all_pattern
+        return maker(n, message_bytes=options.get("bytes", 1.0))
+    if kind == "random":
+        from repro.taskgraph.random_graphs import random_taskgraph
+
+        try:
+            n = int(head)
+        except ValueError as exc:
+            raise SpecError(f"bad task count {head!r}") from exc
+        options = _parse_graph_options(rest, spec, ("p", "seed"))
+        return random_taskgraph(
+            n,
+            edge_prob=options.get("p", 0.1),
+            seed=int(options.get("seed", 0)),
+        )
+    raise SpecError(f"unknown graph kind {kind!r}")
+
+
+def canonical_command(mapper_spec: str, topology_spec: str, seed: int | None,
+                      kernel: str | None) -> str:
+    """The fully reproducible ``repro-map`` command line for a run.
+
+    Always includes the seed and kernel actually in effect — a recorded
+    command replays the run exactly (the profile-reproducibility fix).
+    """
+    from repro.mapping.kernels import get_default_kernel
+
+    spec = parse_mapper_spec(mapper_spec).canonical
+    kernel = kernel if kernel is not None else get_default_kernel()
+    return (
+        f"repro-map --strategy '{spec}' --topology {topology_spec} "
+        f"--seed {0 if seed is None else seed} --kernel {kernel}"
+    )
+
+
+# ------------------------------------------------------------ request/result
+@dataclass
+class MappingRequest:
+    """Everything needed to reproduce one mapping run.
+
+    ``graph``/``topology``/``mapper`` accept live objects or spec strings;
+    spec strings keep the request picklable for :meth:`MappingEngine.run_many`
+    and replayable from recorded metadata.
+    """
+
+    graph: object  # TaskGraph | str
+    topology: object  # Topology | str
+    mapper: object = "TopoLB"  # Mapper | str (spec or Charm++ alias)
+    seed: int | None = None
+    kernel: str | None = None
+    allowed: np.ndarray | None = None
+    profile: bool = False
+
+
+@dataclass
+class MappingResult:
+    """Outcome of one engine run.
+
+    ``metrics`` is the canonical block of
+    :func:`repro.mapping.metrics.metrics_block` plus, for pipeline mappers,
+    the paper's group-level hop-byte metrics. ``metadata`` round-trips: its
+    ``spec``/``topology``/``seed``/``kernel`` entries rebuild an equivalent
+    :class:`MappingRequest`, and ``command`` is the exact CLI line.
+    """
+
+    assignment: np.ndarray
+    metrics: dict[str, float]
+    metadata: dict[str, object]
+    profile: dict | None = None
+    mapping: object | None = field(default=None, repr=False)  # Mapping | None
+
+
+# --------------------------------------------------------------------- engine
+class MappingEngine:
+    """The one resolution-and-execution path for mappings.
+
+    Stateless apart from the process-wide caches it warms (topology tables,
+    mapping contexts); constructing it is free, so layers just instantiate
+    one where needed.
+    """
+
+    def run(self, request: MappingRequest) -> MappingResult:
+        from repro import obs
+        from repro.mapping.context import context_for
+        from repro.mapping.kernels import get_default_kernel, set_default_kernel
+        from repro.mapping.metrics import metrics_block
+        from repro.taskgraph.graph import TaskGraph
+        from repro.topology.factory import topology_from_spec
+
+        graph = (
+            request.graph
+            if isinstance(request.graph, TaskGraph)
+            else graph_from_spec(request.graph)
+        )
+        topology = (
+            topology_from_spec(request.topology)
+            if isinstance(request.topology, str)
+            else request.topology
+        )
+        topology_spec = (
+            request.topology
+            if isinstance(request.topology, str)
+            else getattr(topology, "name", type(topology).__name__)
+        )
+
+        # The kernel knob binds at mapper *construction* (resolve_kernel),
+        # so spec-built mappers are constructed inside the override window.
+        prev_kernel = (
+            set_default_kernel(request.kernel)
+            if request.kernel is not None
+            else None
+        )
+        own_prof = None
+        try:
+            if isinstance(request.mapper, str):
+                parsed = parse_mapper_spec(request.mapper)
+                mapper = parsed.build(request.seed)
+                spec = parsed.canonical
+                strategy = request.mapper
+            else:
+                mapper = request.mapper
+                spec = None
+                strategy = type(mapper).__name__
+
+            ctx = context_for(graph, topology)
+            if request.profile and obs.active() is None:
+                own_prof = obs.enable()
+            with obs.timer("engine.map"):
+                if request.allowed is not None:
+                    mapping = mapper.map(graph, topology, allowed=request.allowed)
+                else:
+                    mapping = mapper.map(graph, topology)
+
+            metrics = metrics_block(graph, topology, mapping.assignment, ctx=ctx)
+            # The paper evaluates hops-per-byte on the coalesced graph too —
+            # intra-group bytes never enter the network.
+            group_mapping = getattr(mapper, "last_group_mapping", None)
+            if group_mapping is not None:
+                metrics["group_hops_per_byte"] = group_mapping.hops_per_byte
+                metrics["group_hop_bytes"] = group_mapping.hop_bytes
+
+            metadata: dict[str, object] = {
+                "strategy": strategy,
+                "spec": spec,
+                "topology": topology_spec,
+                "seed": request.seed,
+                "kernel": request.kernel or get_default_kernel(),
+                "num_objects": graph.num_tasks,
+                "num_processors": topology.num_nodes,
+            }
+            if spec is not None and isinstance(request.topology, str):
+                metadata["command"] = canonical_command(
+                    spec, topology_spec, request.seed, request.kernel
+                )
+
+            profile_doc = None
+            if own_prof is not None:
+                profile_doc = obs.build_profile(
+                    own_prof,
+                    command=metadata.get("command", "engine.run"),
+                    context={
+                        k: v for k, v in metadata.items() if v is not None
+                    },
+                )
+            return MappingResult(
+                assignment=mapping.assignment.copy(),
+                metrics=metrics,
+                metadata=metadata,
+                profile=profile_doc,
+                mapping=mapping,
+            )
+        finally:
+            if own_prof is not None:
+                obs.disable()
+            if prev_kernel is not None:
+                set_default_kernel(prev_kernel)
+
+    def run_many(
+        self,
+        requests: list[MappingRequest],
+        jobs: int = 1,
+        retries: int = 0,
+        retry_delay: float = 0.0,
+    ) -> list[MappingResult]:
+        """Run a batch; results come back in request order.
+
+        ``jobs > 1`` fans out over a process pool (requests must then be
+        spec-based so they pickle); each request is retried up to ``retries``
+        times on failure before the error propagates, mirroring the
+        experiment runner's resilience knobs. Serial runs share one
+        in-process topology/context cache across the whole batch; pooled
+        workers each warm their own shared cache.
+        """
+        if jobs <= 1:
+            return [
+                self._run_with_retries(req, retries, retry_delay)
+                for req in requests
+            ]
+
+        from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+        results: list[MappingResult | None] = [None] * len(requests)
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            pending = {
+                pool.submit(_run_request, req): (i, 0)
+                for i, req in enumerate(requests)
+            }
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, attempt = pending.pop(future)
+                    exc = future.exception()
+                    if exc is None:
+                        results[index] = future.result()
+                    elif attempt < retries:
+                        if retry_delay:
+                            time.sleep(retry_delay)
+                        pending[pool.submit(_run_request, requests[index])] = (
+                            index, attempt + 1,
+                        )
+                    else:
+                        raise exc
+        return results  # type: ignore[return-value]
+
+    def _run_with_retries(
+        self, request: MappingRequest, retries: int, retry_delay: float
+    ) -> MappingResult:
+        attempt = 0
+        while True:
+            try:
+                return self.run(request)
+            except Exception:
+                if attempt >= retries:
+                    raise
+                attempt += 1
+                if retry_delay:
+                    time.sleep(retry_delay)
+
+
+def _run_request(request: MappingRequest) -> MappingResult:
+    """Pool worker: run one request, drop the heavyweight Mapping object
+    (the assignment/metrics/metadata travel back; graph and topology do not)."""
+    result = MappingEngine().run(request)
+    result.mapping = None
+    return result

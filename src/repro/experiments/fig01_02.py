@@ -12,11 +12,9 @@ near) the optimal 1.0; TopoCentLB is low but above TopoLB at every point.
 
 from __future__ import annotations
 
+from repro.engine import mapper_from_spec
 from repro.experiments.common import ExperimentResult
 from repro.mapping.analysis import expected_random_hops_per_byte
-from repro.mapping.random_map import RandomMapper
-from repro.mapping.topocentlb import TopoCentLB
-from repro.mapping.topolb import TopoLB
 from repro.taskgraph.patterns import mesh2d_pattern
 from repro.topology.torus import Torus
 
@@ -36,10 +34,10 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         rows.append(
             {
                 "processors": p,
-                "random": RandomMapper(seed=seed).map(graph, topo).hops_per_byte,
+                "random": mapper_from_spec("random", seed).map(graph, topo).hops_per_byte,
                 "E_random": expected_random_hops_per_byte(topo),
-                "topocentlb": TopoCentLB().map(graph, topo).hops_per_byte,
-                "topolb": TopoLB().map(graph, topo).hops_per_byte,
+                "topocentlb": mapper_from_spec("topocentlb", seed).map(graph, topo).hops_per_byte,
+                "topolb": mapper_from_spec("topolb", seed).map(graph, topo).hops_per_byte,
                 "ideal": 1.0,
             }
         )

@@ -18,12 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine import mapper_from_spec
 from repro.experiments.common import ExperimentResult, near_square_factors
-from repro.mapping.pipeline import TwoPhaseMapper
-from repro.mapping.random_map import RandomMapper
-from repro.mapping.refine import RefineTopoLB
-from repro.mapping.topocentlb import TopoCentLB
-from repro.mapping.topolb import TopoLB
 from repro.partition.multilevel import MultilevelPartitioner
 from repro.taskgraph.coalesce import coalesce
 from repro.taskgraph.leanmd import leanmd_taskgraph
@@ -67,10 +63,10 @@ def run(quick: bool = True, seed: int = 0, ndim: int = 2) -> ExperimentResult:
         quotient = coalesce(graph, np.asarray(groups), p)
         degrees = quotient.degrees()
 
-        random_hpb = RandomMapper(seed=seed).map(quotient, topo).hops_per_byte
-        cent_hpb = TopoCentLB().map(quotient, topo).hops_per_byte
-        topolb_mapping = TopoLB().map(quotient, topo)
-        refined_hpb = RefineTopoLB(seed=seed).refine(topolb_mapping).hops_per_byte
+        random_hpb = mapper_from_spec("random", seed).map(quotient, topo).hops_per_byte
+        cent_hpb = mapper_from_spec("topocentlb", seed).map(quotient, topo).hops_per_byte
+        topolb_mapping = mapper_from_spec("topolb", seed).map(quotient, topo)
+        refined_hpb = mapper_from_spec("refine", seed).refine(topolb_mapping).hops_per_byte
 
         rows.append(
             {

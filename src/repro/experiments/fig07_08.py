@@ -16,7 +16,7 @@ from repro.experiments.common import ExperimentResult
 from repro.mapping.base import Mapping
 from repro.netsim.appsim import IterativeApplication
 from repro.netsim.simulator import NetworkSimulator
-from repro.runtime.strategies import get_strategy
+from repro.engine import mapper_from_spec
 from repro.taskgraph.patterns import mesh2d_pattern
 from repro.topology.torus import Torus
 
@@ -55,7 +55,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     topo = Torus((4, 4, 4))
     graph = mesh2d_pattern(8, 8, message_bytes=MESSAGE_BYTES)
     mappings = {
-        name: get_strategy(name, seed).map(graph, topo) for name in STRATEGIES
+        name: mapper_from_spec(name, seed).map(graph, topo) for name in STRATEGIES
     }
     rows = []
     for bw in QUICK_BANDWIDTHS if quick else FULL_BANDWIDTHS:

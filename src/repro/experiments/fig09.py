@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult
 from repro.experiments.fig07_08 import MESSAGE_BYTES, STRATEGIES, simulate_latency
-from repro.runtime.strategies import get_strategy
+from repro.engine import mapper_from_spec
 from repro.taskgraph.patterns import mesh2d_pattern
 from repro.topology.torus import Torus
 
@@ -39,7 +39,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     topo = Torus((4, 4, 4))
     graph = mesh2d_pattern(8, 8, message_bytes=MESSAGE_BYTES)
     mappings = {
-        name: get_strategy(name, seed).map(graph, topo) for name in STRATEGIES
+        name: mapper_from_spec(name, seed).map(graph, topo) for name in STRATEGIES
     }
     rows = []
     for bw in QUICK_BANDWIDTHS if quick else FULL_BANDWIDTHS:

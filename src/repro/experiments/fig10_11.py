@@ -17,7 +17,7 @@ from __future__ import annotations
 from repro.experiments.common import ExperimentResult, near_square_factors
 from repro.netsim.appsim import IterativeApplication
 from repro.netsim.simulator import NetworkSimulator
-from repro.runtime.strategies import get_strategy
+from repro.engine import mapper_from_spec
 from repro.taskgraph.patterns import mesh2d_pattern
 from repro.topology.mesh import Mesh
 from repro.topology.torus import Torus
@@ -48,7 +48,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         row: dict = {"processors": p}
         for net_name, topo in (("torus", Torus(shape)), ("mesh", Mesh(shape))):
             for strat in STRATEGIES:
-                mapping = get_strategy(strat, seed).map(graph, topo)
+                mapping = mapper_from_spec(strat, seed).map(graph, topo)
                 sim = NetworkSimulator(
                     topo, bandwidth=BANDWIDTH, alpha=ALPHA,
                     nic_bandwidth=NIC_BANDWIDTH,

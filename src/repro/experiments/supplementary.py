@@ -13,17 +13,8 @@ Two studies an open-source release of this system should ship:
 
 from __future__ import annotations
 
+from repro.engine import mapper_from_spec
 from repro.experiments.common import ExperimentResult
-from repro.mapping import (
-    HybridTopoLB,
-    LinearOrderingMapper,
-    RandomMapper,
-    RecursiveEmbeddingMapper,
-    RefineTopoLB,
-    SimulatedAnnealingMapper,
-    TopoCentLB,
-    TopoLB,
-)
 from repro.mapping.bounds import hop_bytes_lower_bound
 from repro.taskgraph import leanmd_taskgraph, mesh2d_pattern, random_taskgraph
 from repro.taskgraph.coalesce import coalesce
@@ -35,16 +26,17 @@ __all__ = ["run_zoo", "run_bounds", "run_objectives", "run_scaling"]
 
 def _mappers(seed: int, quick: bool):
     steps = 20_000 if quick else 200_000
-    return [
-        ("random", RandomMapper(seed=seed)),
-        ("linear", LinearOrderingMapper()),
-        ("recursive", RecursiveEmbeddingMapper(seed=seed)),
-        ("topocentlb", TopoCentLB()),
-        ("hybrid", HybridTopoLB(num_blocks=4, seed=seed)),
-        ("topolb", TopoLB()),
-        ("topolb+ref", RefineTopoLB(base=TopoLB(), seed=seed)),
-        ("anneal", SimulatedAnnealingMapper(steps=steps, seed=seed)),
+    specs = [
+        ("random", "random"),
+        ("linear", "linear"),
+        ("recursive", "recursive"),
+        ("topocentlb", "topocentlb"),
+        ("hybrid", "hybrid:blocks=4"),
+        ("topolb", "topolb"),
+        ("topolb+ref", "refine:base=topolb"),
+        ("anneal", f"anneal:steps={steps}"),
     ]
+    return [(name, mapper_from_spec(spec, seed)) for name, spec in specs]
 
 
 def run_zoo(quick: bool = True, seed: int = 0) -> ExperimentResult:
@@ -81,7 +73,7 @@ def run_objectives(quick: bool = True, seed: int = 0) -> ExperimentResult:
     """
     import numpy as np
 
-    from repro.mapping import BokhariMapper, cardinality
+    from repro.mapping import cardinality
     from repro.taskgraph import TaskGraph
 
     rng = np.random.default_rng(seed)
@@ -99,9 +91,9 @@ def run_objectives(quick: bool = True, seed: int = 0) -> ExperimentResult:
     for name, graph, topo in instances:
         row: dict = {"instance": name}
         for mapper_name, mapper in (
-            ("random", RandomMapper(seed=seed)),
-            ("bokhari", BokhariMapper(seed=seed)),
-            ("topolb", TopoLB()),
+            ("random", mapper_from_spec("random", seed)),
+            ("bokhari", mapper_from_spec("bokhari", seed)),
+            ("topolb", mapper_from_spec("topolb", seed)),
         ):
             mapping = mapper.map(graph, topo)
             row[f"{mapper_name}_hpb"] = mapping.hops_per_byte
@@ -130,9 +122,9 @@ def run_scaling(quick: bool = True, seed: int = 0) -> ExperimentResult:
         graph = mesh2d_pattern(side, side)
         row: dict = {"processors": p}
         for name, mapper in (
-            ("topocentlb", TopoCentLB()),
-            ("topolb_o2", TopoLB()),
-            ("refine", RefineTopoLB(base=TopoLB(), seed=seed)),
+            ("topocentlb", mapper_from_spec("topocentlb", seed)),
+            ("topolb_o2", mapper_from_spec("topolb", seed)),
+            ("refine", mapper_from_spec("refine:base=topolb", seed)),
         ):
             t0 = time.perf_counter()
             mapping = mapper.map(graph, topo)
@@ -169,10 +161,10 @@ def run_bounds(quick: bool = True, seed: int = 0) -> ExperimentResult:
         bound = hop_bytes_lower_bound(graph, topo)
         row: dict = {"instance": name}
         for mapper_name, mapper in (
-            ("random", RandomMapper(seed=seed)),
-            ("topocentlb", TopoCentLB()),
-            ("topolb", TopoLB()),
-            ("topolb+ref", RefineTopoLB(base=TopoLB(), seed=seed)),
+            ("random", mapper_from_spec("random", seed)),
+            ("topocentlb", mapper_from_spec("topocentlb", seed)),
+            ("topolb", mapper_from_spec("topolb", seed)),
+            ("topolb+ref", mapper_from_spec("refine:base=topolb", seed)),
         ):
             hb = mapper.map(graph, topo).hop_bytes
             row[f"{mapper_name}_gap"] = hb / bound if bound else float("inf")

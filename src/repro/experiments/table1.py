@@ -23,8 +23,8 @@ Hardware is replaced by the network simulator (see DESIGN.md substitutions).
 
 from __future__ import annotations
 
+from repro.engine import mapper_from_spec
 from repro.experiments.common import ExperimentResult
-from repro.mapping.random_map import IdentityMapper, RandomMapper
 from repro.netsim.appsim import IterativeApplication
 from repro.netsim.simulator import NetworkSimulator
 from repro.taskgraph.patterns import mesh3d_pattern
@@ -66,8 +66,8 @@ def run(quick: bool = True, seed: int = 0, side: int | None = None,
         graph = mesh3d_pattern(side, side, side, message_bytes=size)
         times = {}
         for label, mapper in (
-            ("random", RandomMapper(seed=seed)),
-            ("optimal", IdentityMapper()),
+            ("random", mapper_from_spec("random", seed)),
+            ("optimal", mapper_from_spec("identity", seed)),
         ):
             mapping = mapper.map(graph, topo)
             sim = NetworkSimulator(

@@ -12,12 +12,16 @@ its deterministic route — the quantity whose maximum drives contention.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.exceptions import MappingError
 from repro.taskgraph.graph import TaskGraph
 from repro.topology.base import Topology
+
+if TYPE_CHECKING:  # circular at runtime: context imports metrics helpers
+    from repro.mapping.context import MappingContext
 
 __all__ = [
     "hop_bytes",
@@ -28,6 +32,7 @@ __all__ = [
     "dilation_histogram",
     "processor_loads",
     "load_imbalance",
+    "metrics_block",
 ]
 
 #: Above this processor count we avoid materializing the full distance matrix.
@@ -178,3 +183,50 @@ def load_imbalance(
     if mean == 0:
         return 1.0
     return float(loads.max() / mean)
+
+
+def metrics_block(
+    graph: TaskGraph,
+    topology: Topology,
+    assignment: Sequence[int],
+    *,
+    ctx: MappingContext | None = None,
+) -> dict[str, float]:
+    """The canonical per-mapping metrics block, from one distance gather.
+
+    Every consumer that used to call :func:`hop_bytes`,
+    :func:`hops_per_byte`, :func:`load_imbalance`, and
+    :func:`dilation_stats` separately paid one edge-distance gather per
+    metric; this computes the gather once and derives all of them with the
+    same floating-point expressions, so values are bitwise identical to the
+    individual functions.
+
+    Keys: ``hop_bytes``, ``hops_per_byte``, ``load_imbalance``,
+    ``max_dilation``, ``mean_dilation``, ``weighted_dilation``.
+    """
+    if ctx is None:
+        from repro.mapping.context import context_for
+
+        ctx = context_for(graph, topology)
+    arr = _as_assignment(graph, topology, assignment)
+    u, v, w = ctx.edge_arrays()
+    total = graph.total_bytes
+    if len(w) == 0:
+        hb = 0.0
+        dil = {"max": 0.0, "mean": 0.0, "weighted_mean": 0.0}
+    else:
+        dist = _edge_distances(topology, arr[u], arr[v])
+        hb = float(np.dot(w, dist))
+        dil = {
+            "max": float(dist.max()),
+            "mean": float(dist.mean()),
+            "weighted_mean": float(np.dot(w, dist) / w.sum()) if w.sum() else 0.0,
+        }
+    return {
+        "hop_bytes": hb,
+        "hops_per_byte": hb / total if total else 0.0,
+        "load_imbalance": load_imbalance(graph, topology, arr),
+        "max_dilation": dil["max"],
+        "mean_dilation": dil["mean"],
+        "weighted_dilation": dil["weighted_mean"],
+    }

@@ -18,6 +18,7 @@ import inspect
 from repro import obs
 from repro.exceptions import MappingError
 from repro.mapping.base import Mapper, Mapping, resolve_allowed
+from repro.mapping.context import MappingContext, context_for
 from repro.mapping.refine import RefineTopoLB
 from repro.partition.base import Partitioner
 from repro.taskgraph.coalesce import coalesce
@@ -77,10 +78,17 @@ class TwoPhaseMapper(Mapper):
         graph: TaskGraph,
         topology: Topology,
         allowed: np.ndarray | None = None,
+        *,
+        ctx: MappingContext | None = None,
     ) -> Mapping:
         """Map ``graph``; on a degraded machine (or with an explicit
         ``allowed`` mask) phase 1 partitions into one group per *healthy*
-        processor and phase 2 places groups on the allowed set only."""
+        processor and phase 2 places groups on the allowed set only.
+
+        ``ctx`` is the shared context for ``(graph, topology)``; phase 2
+        derives (and shares) its own context for the coalesced quotient
+        graph, since that is the graph the mapper and refiner actually see.
+        """
         allowed = resolve_allowed(topology, allowed)
         p = topology.num_nodes if allowed is None else int(allowed.sum())
         if allowed is not None and not self._accepts_allowed(self._mapper):
@@ -103,14 +111,25 @@ class TwoPhaseMapper(Mapper):
             with obs.timer("pipeline.coalesce"):
                 quotient = coalesce(graph, groups, p)
 
+        # One shared context for the graph phase 2 actually maps: the
+        # quotient when partitioning ran, the original graph otherwise.
+        if quotient is graph and ctx is not None:
+            qctx = ctx
+        else:
+            qctx = context_for(quotient, topology)
+        ctx_kwargs = {"ctx": qctx} if self._accepts_ctx(self._mapper) else {}
         with obs.timer("pipeline.map"):
             if allowed is None:
-                group_mapping = self._mapper.map(quotient, topology)
+                group_mapping = self._mapper.map(quotient, topology, **ctx_kwargs)
             else:
-                group_mapping = self._mapper.map(quotient, topology, allowed=allowed)
+                group_mapping = self._mapper.map(
+                    quotient, topology, allowed=allowed, **ctx_kwargs
+                )
         if self._refiner is not None:
             with obs.timer("pipeline.refine"):
-                group_mapping = self._refiner.refine(group_mapping, allowed=allowed)
+                group_mapping = self._refiner.refine(
+                    group_mapping, allowed=allowed, ctx=qctx
+                )
 
         self._last_groups = groups
         self._last_group_mapping = group_mapping
@@ -119,3 +138,7 @@ class TwoPhaseMapper(Mapper):
     @staticmethod
     def _accepts_allowed(mapper: Mapper) -> bool:
         return "allowed" in inspect.signature(mapper.map).parameters
+
+    @staticmethod
+    def _accepts_ctx(mapper: Mapper) -> bool:
+        return "ctx" in inspect.signature(mapper.map).parameters

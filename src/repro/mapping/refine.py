@@ -38,6 +38,7 @@ import numpy as np
 from repro import obs
 from repro.exceptions import MappingError
 from repro.mapping.base import Mapper, Mapping, resolve_allowed
+from repro.mapping.context import MappingContext, context_for
 from repro.mapping.kernels import resolve_kernel
 from repro.taskgraph.graph import TaskGraph
 from repro.topology.base import Topology
@@ -94,6 +95,8 @@ class RefineTopoLB(Mapper):
         graph: TaskGraph,
         topology: Topology,
         allowed: np.ndarray | None = None,
+        *,
+        ctx: MappingContext | None = None,
     ) -> Mapping:
         if self._base is None:
             raise MappingError(
@@ -105,16 +108,18 @@ class RefineTopoLB(Mapper):
             base_mapping = self._base.map(graph, topology)
         else:
             base_mapping = self._base.map(graph, topology, allowed=allowed)
-        return self.refine(base_mapping, allowed=allowed)
+        return self.refine(base_mapping, allowed=allowed, ctx=ctx)
 
     def refine(
-        self, mapping: Mapping, allowed: np.ndarray | None = None
+        self, mapping: Mapping, allowed: np.ndarray | None = None,
+        *, ctx: MappingContext | None = None,
     ) -> Mapping:
         """Return a refined copy of ``mapping`` (never worse in hop-bytes).
 
         ``allowed`` (auto-derived on degraded machines) declares the legal
         processors; the refiner only swaps tasks pairwise, so a mapping that
-        starts within the allowed set stays within it.
+        starts within the allowed set stays within it. ``ctx`` supplies
+        shared per-(graph, topology) tables.
         """
         allowed = resolve_allowed(mapping.topology, allowed)
         run = (
@@ -124,13 +129,16 @@ class RefineTopoLB(Mapper):
         )
         prof = obs.active()
         if prof is None:
-            return run(mapping, allowed=allowed)
+            return run(mapping, allowed=allowed, ctx=ctx)
         with prof.timer("refine.refine"):
-            return run(mapping, prof, allowed=allowed)
+            return run(mapping, prof, allowed=allowed, ctx=ctx)
 
-    def _setup(self, mapping: Mapping, allowed: np.ndarray | None = None):
+    def _setup(self, mapping: Mapping, allowed: np.ndarray | None = None,
+               ctx: MappingContext | None = None):
         """Shared kernel state: distance matrix, CSR arrays, cost table."""
         graph, topology = mapping.graph, mapping.topology
+        if ctx is None:
+            ctx = context_for(graph, topology)
         n = self._check_sizes(graph, topology, allowed)
         if allowed is None:
             if not mapping.is_bijection():
@@ -150,18 +158,19 @@ class RefineTopoLB(Mapper):
                 )
         rng = as_rng(self._seed)
 
-        dist = topology.distance_matrix(np.float64)
-        indptr, indices, weights = graph.csr_arrays()
+        dist = ctx.distance_matrix(np.float64)
+        indptr, indices, weights = ctx.csr_arrays()
         assign = mapping.assignment.copy()
 
         # C[t, q] = first-order cost of task t if it sat on processor q.
-        csr = graph.adjacency_csr()
+        csr = ctx.adjacency_csr()
         cost = np.asarray(csr @ dist[assign])  # (n, p)
         return n, rng, dist, indptr, indices, weights, assign, cost
 
     def _refine_reference(
         self, mapping: Mapping, prof: obs.Profiler | None = None,
         allowed: np.ndarray | None = None,
+        ctx: MappingContext | None = None,
     ) -> Mapping:
         """Row-at-a-time sweep — the executable specification of the block
         sweep; the equivalence suite pins the two to identical outputs.
@@ -170,7 +179,7 @@ class RefineTopoLB(Mapper):
         body is mask-oblivious: a mapping that starts on allowed processors
         can never leave them."""
         n, rng, dist, indptr, indices, weights, assign, cost = self._setup(
-            mapping, allowed
+            mapping, allowed, ctx
         )
 
         ids = np.arange(n)
@@ -214,12 +223,13 @@ class RefineTopoLB(Mapper):
     def _refine_vectorized(
         self, mapping: Mapping, prof: obs.Profiler | None = None,
         allowed: np.ndarray | None = None,
+        ctx: MappingContext | None = None,
     ) -> Mapping:
         """Block sweep: precompute ``(B, n)`` delta rows, consume them until
         the first accepted swap invalidates the block (see module docstring).
         """
         n, rng, dist, indptr, indices, weights, assign, cost = self._setup(
-            mapping, allowed
+            mapping, allowed, ctx
         )
 
         ids = np.arange(n)

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro import obs
 from repro.mapping.base import Mapper, Mapping, resolve_allowed
+from repro.mapping.context import MappingContext, context_for
 from repro.taskgraph.graph import TaskGraph
 from repro.topology.base import Topology
 from repro.utils.priority_queue import AddressableMaxHeap
@@ -33,15 +34,20 @@ class TopoCentLB(Mapper):
         graph: TaskGraph,
         topology: Topology,
         allowed: np.ndarray | None = None,
+        *,
+        ctx: MappingContext | None = None,
     ) -> Mapping:
         """Map ``graph`` onto ``topology``; ``allowed`` restricts placement
-        to a processor mask (auto-derived on degraded machines)."""
+        to a processor mask (auto-derived on degraded machines). ``ctx``
+        supplies shared per-(graph, topology) tables."""
         allowed = resolve_allowed(topology, allowed)
+        if ctx is None:
+            ctx = context_for(graph, topology)
         prof = obs.active()
         if prof is None:
-            return self._run(graph, topology, allowed=allowed)
+            return self._run(graph, topology, allowed=allowed, ctx=ctx)
         with prof.timer("topocentlb.map"):
-            return self._run(graph, topology, prof, allowed=allowed)
+            return self._run(graph, topology, prof, allowed=allowed, ctx=ctx)
 
     def _run(
         self,
@@ -49,11 +55,17 @@ class TopoCentLB(Mapper):
         topology: Topology,
         prof: obs.Profiler | None = None,
         allowed: np.ndarray | None = None,
+        ctx: MappingContext | None = None,
     ) -> Mapping:
+        if ctx is None:
+            ctx = context_for(graph, topology)
         n = self._check_sizes(graph, topology, allowed)
         p = topology.num_nodes
-        dist = topology.distance_matrix().astype(np.float64, copy=False)
-        indptr, indices, weights = graph.csr_arrays()
+        # Exact cast either way: hop distances are small integers (or already
+        # float64 on weighted machines), so the float64 view from the shared
+        # cache is bitwise equal to astype()ing the default matrix.
+        dist = ctx.distance_matrix(np.float64)
+        indptr, indices, weights = ctx.csr_arrays()
 
         # Free-processor mask; a masked run simply starts with the dead
         # processors already consumed — the greedy cycle body is unchanged.

@@ -36,11 +36,8 @@ import numpy as np
 from repro import obs
 from repro.exceptions import MappingError
 from repro.mapping.base import Mapper, Mapping, resolve_allowed
-from repro.mapping.estimation import (
-    EstimatorOrder,
-    average_distance_vector,
-    centered_distance_matrix,
-)
+from repro.mapping.context import MappingContext, context_for
+from repro.mapping.estimation import EstimatorOrder
 from repro.mapping.kernels import resolve_kernel
 from repro.taskgraph.graph import TaskGraph
 from repro.topology.base import Topology
@@ -119,6 +116,8 @@ class TopoLB(Mapper):
         graph: TaskGraph,
         topology: Topology,
         allowed: np.ndarray | None = None,
+        *,
+        ctx: MappingContext | None = None,
     ) -> Mapping:
         """Map ``graph`` onto ``topology``.
 
@@ -127,17 +126,20 @@ class TopoLB(Mapper):
         :class:`~repro.faults.DegradedTopology` and means "every processor"
         elsewhere. Masked runs place ``n <= p'`` tasks onto the ``p'``
         allowed processors and raise :class:`MappingError` when capacity is
-        insufficient.
+        insufficient. ``ctx`` supplies shared per-(graph, topology) tables;
+        ``None`` uses the process-wide shared context.
         """
         allowed = resolve_allowed(topology, allowed)
         n = self._check_sizes(graph, topology, allowed)
+        if ctx is None:
+            ctx = context_for(graph, topology)
         run = self._run_reference if self._kernel == "reference" else self._run_vectorized
         prof = obs.active()
         if prof is None:
-            assignment = run(graph, topology, n, allowed=allowed)
+            assignment = run(graph, topology, n, allowed=allowed, ctx=ctx)
         else:
             with prof.timer("topolb.map"):
-                assignment = run(graph, topology, n, prof, allowed=allowed)
+                assignment = run(graph, topology, n, prof, allowed=allowed, ctx=ctx)
         return Mapping(graph, topology, assignment)
 
     # ------------------------------------------------------------------ core
@@ -149,10 +151,13 @@ class TopoLB(Mapper):
     _RESERVE = 8
 
     def _setup(self, graph: TaskGraph, topology: Topology, n: int,
-               allowed: np.ndarray | None = None):
+               allowed: np.ndarray | None = None,
+               ctx: MappingContext | None = None):
         """Shared kernel state: fest table, selection vectors, reserve arrays."""
-        dist = topology.distance_matrix(self._dtype)
-        indptr, indices, weights = graph.csr_arrays()
+        if ctx is None:
+            ctx = context_for(graph, topology)
+        dist = ctx.distance_matrix(self._dtype)
+        indptr, indices, weights = ctx.csr_arrays()
 
         order = self._order
         # Bytes from each task to its not-yet-placed neighbors.
@@ -166,9 +171,9 @@ class TopoLB(Mapper):
         # one — which is a per-fault-pattern vector, computed fresh (cheap,
         # O(p * p'), and never shared-cached under the pristine key).
         if allowed is None:
-            avg_all = average_distance_vector(topology).astype(self._dtype, copy=False)
+            avg_all = ctx.average_distance_vector().astype(self._dtype, copy=False)
         else:
-            avg_all = average_distance_vector(topology, allowed).astype(
+            avg_all = ctx.average_distance_vector(allowed).astype(
                 self._dtype, copy=False
             )
         avg_free = avg_all.copy()  # only consulted by the third-order path
@@ -190,11 +195,12 @@ class TopoLB(Mapper):
         n: int,
         prof: obs.Profiler | None = None,
         allowed: np.ndarray | None = None,
+        ctx: MappingContext | None = None,
     ) -> np.ndarray:
         """The original scalar cycle body — kept verbatim as the executable
         specification the vectorized kernel is tested against."""
         (dist, indptr, indices, weights, unplaced_comm,
-         avg_all, avg_free, fest) = self._setup(graph, topology, n, allowed)
+         avg_all, avg_free, fest) = self._setup(graph, topology, n, allowed, ctx)
         order = self._order
         p = topology.num_nodes
 
@@ -343,6 +349,7 @@ class TopoLB(Mapper):
         n: int,
         prof: obs.Profiler | None = None,
         allowed: np.ndarray | None = None,
+        ctx: MappingContext | None = None,
     ) -> np.ndarray:
         """Batched cycle body — bit-identical assignments to the reference.
 
@@ -370,8 +377,10 @@ class TopoLB(Mapper):
         All floating-point expressions keep the reference kernel's
         elementwise evaluation order so tie-breaks cannot diverge.
         """
+        if ctx is None:
+            ctx = context_for(graph, topology)
         (dist, indptr, indices, weights, unplaced_comm,
-         avg_all, avg_free, fest) = self._setup(graph, topology, n, allowed)
+         avg_all, avg_free, fest) = self._setup(graph, topology, n, allowed, ctx)
         order = self._order
         selection = self._selection
         p = topology.num_nodes
@@ -460,7 +469,7 @@ class TopoLB(Mapper):
         # same elementwise dist[pk] - avg_all rows the reference computes.
         if order is EstimatorOrder.SECOND:
             if allowed is None:
-                dma = centered_distance_matrix(topology, self._dtype)
+                dma = ctx.centered_distance_matrix(self._dtype)
             else:
                 dma = dist - avg_all
         # unplaced_comm only feeds the third-order recentring term — for the

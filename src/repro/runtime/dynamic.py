@@ -28,8 +28,9 @@ import numpy as np
 
 from repro.exceptions import MappingError, TaskGraphError
 from repro.mapping.base import Mapping
+from repro.mapping.context import context_for
 from repro.mapping.incremental import IncrementalRefineLB
-from repro.mapping.metrics import hop_bytes, load_imbalance
+from repro.mapping.metrics import load_imbalance
 from repro.taskgraph.graph import TaskGraph
 from repro.topology.base import Topology
 from repro.utils.rng import as_rng
@@ -63,6 +64,11 @@ class DriftingWorkload:
     def num_tasks(self) -> int:
         """Number of tasks (fixed across steps)."""
         return self._base.num_tasks
+
+    @property
+    def base(self) -> TaskGraph:
+        """The underlying task graph (fixed edges; loads drift per step)."""
+        return self._base
 
     def advance(self) -> TaskGraph:
         """Drift loads one step; return the current task graph snapshot."""
@@ -185,7 +191,13 @@ def run_dynamic_lb(
 
     from repro import obs
 
-    dist = topology.distance_matrix().astype(np.float64, copy=False)
+    # Communication is persistent (fixed edges), so hop-bytes of every step
+    # routes through one shared context over the base graph instead of
+    # re-deriving edge arrays from each step's load snapshot. The per-step
+    # snapshots dedup the same edge list in the same order, so the values
+    # are bitwise identical.
+    ctx = context_for(workload.base, topology)
+    dist = ctx.distance_matrix(np.float64)
     alive = np.ones(p, dtype=bool)
     any_failed = False
 
@@ -199,7 +211,7 @@ def run_dynamic_lb(
         failed_now = failures_at.get(step, ())
         hb_delta = 0.0
         if failed_now:
-            hb_before = hop_bytes(graph, topology, placement)
+            hb_before = ctx.hop_bytes(placement)
             for v in failed_now:
                 alive[v] = False
             if not alive.any():
@@ -210,7 +222,7 @@ def run_dynamic_lb(
                 placement = placement.copy()
                 _evacuate_tasks(graph, dist, placement, victims, alive)
                 migrated[victims] = True
-            hb_delta = hop_bytes(graph, topology, placement) - hb_before
+            hb_delta = ctx.hop_bytes(placement) - hb_before
             prof = obs.active()
             if prof is not None:
                 prof.count("faults.injected", len(failed_now))
@@ -255,7 +267,7 @@ def run_dynamic_lb(
                 step=step,
                 balanced=balanced,
                 imbalance=load_imbalance(graph, topology, placement),
-                hop_bytes=hop_bytes(graph, topology, placement),
+                hop_bytes=ctx.hop_bytes(placement),
                 migrated_tasks=int(migrated.sum()),
                 migration_bytes=float(state_bytes[migrated].sum()),
                 failed_nodes=tuple(failed_now),

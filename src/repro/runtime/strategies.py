@@ -1,10 +1,12 @@
-"""Registry of load-balancing strategies under their Charm++ names.
+"""Charm++ strategy names, resolved through the unified engine registry.
 
-Every strategy consumes an :class:`~repro.runtime.lbdb.LBDatabase` plus a
-:class:`~repro.topology.Topology` and returns an object → processor
-assignment. Object counts larger than the machine go through the two-phase
-pipeline (partition, coalesce, map) automatically, exactly as the paper's
-TopoLB/TopoCentLB implementations do.
+Historically this module carried its own factory table; it is now a thin
+compatibility veneer over :mod:`repro.engine.specs` — the *single* strategy
+registry. :data:`STRATEGIES` maps each Charm++ name to its canonical mapper
+spec string (``"TopoLB" -> "pipeline:inner=topolb"``), and
+:func:`get_strategy` accepts either a name or any spec string, so runtime
+callers (``full:<strategy>`` balancer specs included) gained spec-string
+configurability for free.
 
 Registered names:
 
@@ -22,113 +24,29 @@ Registered names:
 
 from __future__ import annotations
 
-from collections.abc import Callable
-
 import numpy as np
 
-from repro.exceptions import MappingError
+from repro.engine.specs import STRATEGY_SPECS, mapper_from_spec
+from repro.exceptions import MappingError, SpecError
 from repro.mapping.base import Mapper
-from repro.mapping.estimation import EstimatorOrder
-from repro.mapping.pipeline import TwoPhaseMapper
-from repro.mapping.random_map import RandomMapper
-from repro.mapping.refine import RefineTopoLB
-from repro.mapping.topocentlb import TopoCentLB
-from repro.mapping.topolb import TopoLB
-from repro.partition.greedy import GreedyPartitioner
-from repro.partition.multilevel import MultilevelPartitioner
 from repro.runtime.lbdb import LBDatabase
 from repro.topology.base import Topology
 
 __all__ = ["STRATEGIES", "get_strategy", "run_strategy"]
 
 
-def _pipeline(mapper: Mapper, refiner: RefineTopoLB | None = None) -> TwoPhaseMapper:
-    return TwoPhaseMapper(
-        partitioner=MultilevelPartitioner(), mapper=mapper, refiner=refiner
-    )
-
-
-def _greedylb_factory(seed: int | None) -> Mapper:
-    # GreedyLB balances load and then scatters groups over processors with no
-    # topology awareness; group g landing on processor g of an arbitrary
-    # numbering is topologically random for any structured pattern.
-    return TwoPhaseMapper(
-        partitioner=GreedyPartitioner(),
-        mapper=RandomMapper(seed=seed),
-    )
-
-
-#: name -> factory(seed) -> Mapper (all accept n == p directly; n > p goes
-#: through the two-phase pipeline inside TwoPhaseMapper).
-STRATEGIES: dict[str, Callable[[int | None], Mapper]] = {
-    "RandomLB": lambda seed: _pipeline(RandomMapper(seed=seed)),
-    "GreedyLB": _greedylb_factory,
-    "TopoCentLB": lambda seed: _pipeline(TopoCentLB()),
-    "TopoLB": lambda seed: _pipeline(TopoLB(order=EstimatorOrder.SECOND)),
-    "TopoLB1": lambda seed: _pipeline(TopoLB(order=EstimatorOrder.FIRST)),
-    "TopoLB3": lambda seed: _pipeline(TopoLB(order=EstimatorOrder.THIRD)),
-    "RefineTopoLB": lambda seed: _pipeline(
-        TopoLB(order=EstimatorOrder.SECOND), refiner=RefineTopoLB(seed=seed or 0)
-    ),
-    "RefineTopoLB3": lambda seed: _pipeline(
-        TopoLB(order=EstimatorOrder.THIRD), refiner=RefineTopoLB(seed=seed or 0)
-    ),
-    "AnnealLB": lambda seed: _pipeline(_anneal(seed)),
-    "GeneticLB": lambda seed: _pipeline(_genetic(seed)),
-    "BokhariLB": lambda seed: _pipeline(_bokhari(seed)),
-    "RecursiveEmbedLB": lambda seed: _pipeline(_recursive_embed(seed)),
-    "LinearOrderLB": lambda seed: _pipeline(_linear_order()),
-    "HybridTopoLB": lambda seed: _pipeline(_hybrid(seed)),
-}
-
-
-def _anneal(seed: int | None):
-    from repro.mapping.annealing import SimulatedAnnealingMapper
-
-    return SimulatedAnnealingMapper(seed=seed or 0)
-
-
-def _genetic(seed: int | None):
-    from repro.mapping.evolutionary import GeneticMapper
-    from repro.mapping.topolb import TopoLB
-
-    # Seeded population (Orduña-style) so the strategy is usable at LB time.
-    return GeneticMapper(seed=seed or 0, seed_mapper=TopoLB())
-
-
-def _bokhari(seed: int | None):
-    from repro.mapping.bokhari import BokhariMapper
-
-    return BokhariMapper(seed=seed or 0)
-
-
-def _recursive_embed(seed: int | None):
-    from repro.mapping.recursive_embedding import RecursiveEmbeddingMapper
-
-    return RecursiveEmbeddingMapper(seed=seed or 0)
-
-
-def _linear_order():
-    from repro.mapping.linear_order import LinearOrderingMapper
-
-    return LinearOrderingMapper()
-
-
-def _hybrid(seed: int | None):
-    from repro.mapping.hybrid import HybridTopoLB
-
-    return HybridTopoLB(seed=seed or 0)
+#: Charm++ name -> canonical mapper spec (the engine's alias table). Kept
+#: under the old name so ``sorted(STRATEGIES)`` / ``name in STRATEGIES``
+#: keep working; construction goes through :func:`get_strategy`.
+STRATEGIES: dict[str, str] = STRATEGY_SPECS
 
 
 def get_strategy(name: str, seed: int | None = None) -> Mapper:
-    """Instantiate a registered strategy by name."""
+    """Instantiate a strategy by Charm++ name *or* mapper spec string."""
     try:
-        factory = STRATEGIES[name]
-    except KeyError:
-        raise MappingError(
-            f"unknown strategy {name!r}; available: {sorted(STRATEGIES)}"
-        ) from None
-    return factory(seed)
+        return mapper_from_spec(name, seed)
+    except SpecError as exc:
+        raise MappingError(str(exc)) from None
 
 
 def run_strategy(
