@@ -28,6 +28,7 @@ from repro.exceptions import (
     MappingError,
     SimulationError,
     SpecError,
+    ValidationError,
 )
 from repro.topology import (
     Topology,
@@ -99,6 +100,7 @@ __all__ = [
     "MappingError",
     "SimulationError",
     "SpecError",
+    "ValidationError",
     "Topology",
     "Mesh",
     "Torus",

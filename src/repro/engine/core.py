@@ -166,6 +166,12 @@ class MappingRequest:
     kernel: str | None = None
     allowed: np.ndarray | None = None
     profile: bool = False
+    #: Validation tier enforced on the produced mapping: "off" (default),
+    #: "cheap" (structural invariants + metrics consistency) or "full"
+    #: (+ differential kernel/spec oracles and metamorphic properties).
+    #: Violations raise :class:`~repro.exceptions.ValidationError` with a
+    #: replayable ``repro-validate`` command; see docs/VALIDATION.md.
+    validate: str = "off"
 
 
 @dataclass
@@ -203,6 +209,11 @@ class MappingEngine:
         from repro.taskgraph.graph import TaskGraph
         from repro.topology.factory import topology_from_spec
 
+        if request.validate not in ("off", "cheap", "full"):
+            raise SpecError(
+                "MappingRequest.validate must be one of ('off', 'cheap', "
+                f"'full'), got {request.validate!r}"
+            )
         graph = (
             request.graph
             if isinstance(request.graph, TaskGraph)
@@ -255,6 +266,28 @@ class MappingEngine:
                 metrics["group_hops_per_byte"] = group_mapping.hops_per_byte
                 metrics["group_hop_bytes"] = group_mapping.hop_bytes
 
+            if request.validate != "off":
+                from repro.validate import validate_mapping
+
+                # Still inside the kernel-override window, so the oracles'
+                # mapper rebuilds resolve the same default kernel this run
+                # used.
+                with obs.timer("engine.validate"):
+                    validate_mapping(
+                        graph, topology, mapping.assignment,
+                        level=request.validate,
+                        ctx=ctx,
+                        allowed=request.allowed,
+                        mapper_spec=spec,
+                        graph_spec=request.graph
+                        if isinstance(request.graph, str) else None,
+                        topology_spec=request.topology
+                        if isinstance(request.topology, str) else None,
+                        seed=request.seed,
+                        kernel=request.kernel or get_default_kernel(),
+                        metrics=metrics,
+                    )
+
             metadata: dict[str, object] = {
                 "strategy": strategy,
                 "spec": spec,
@@ -306,6 +339,11 @@ class MappingEngine:
         experiment runner's resilience knobs. Serial runs share one
         in-process topology/context cache across the whole batch; pooled
         workers each warm their own shared cache.
+
+        Each request's ``validate`` level travels with it, so pooled workers
+        enforce the same invariants as serial runs; a
+        :class:`~repro.exceptions.ValidationError` is never retried away —
+        it propagates after the retry budget like any other failure.
         """
         if jobs <= 1:
             return [

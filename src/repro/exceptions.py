@@ -15,6 +15,7 @@ __all__ = [
     "SimulationError",
     "SpecError",
     "ProfileError",
+    "ValidationError",
 ]
 
 
@@ -48,3 +49,48 @@ class SpecError(ReproError):
 
 class ProfileError(ReproError):
     """A profile artifact failed schema validation or could not be read."""
+
+
+class ValidationError(ReproError):
+    """A mapping violated an invariant of :mod:`repro.validate`.
+
+    Structured so tooling (and the next bugfix PR) can start from the exact
+    failing oracle instead of a prose report:
+
+    ``invariant``
+        The machine-readable invariant name (e.g. ``"injectivity"``,
+        ``"kernel-differential"``, ``"golden-drift"``).
+    ``spec``
+        The ``graph``/``topology``/``mapper``/``seed``/``kernel`` context the
+        violation occurred under (whatever subset was known).
+    ``replay``
+        A ``repro-validate`` command line reproducing the failure, when the
+        run was fully spec-described.
+    ``details``
+        Free-form diagnostic values (observed vs expected numbers, offending
+        indices, ...).
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        message: str,
+        *,
+        spec: dict | None = None,
+        replay: str | None = None,
+        details: dict | None = None,
+    ):
+        self.invariant = str(invariant)
+        self.spec = dict(spec or {})
+        self.replay = replay
+        self.details = dict(details or {})
+        text = f"invariant {self.invariant!r} violated: {message}"
+        if self.spec:
+            shown = ", ".join(
+                f"{k}={v!r}" for k, v in self.spec.items() if v is not None
+            )
+            if shown:
+                text += f" [{shown}]"
+        if replay:
+            text += f"\nreplay: {replay}"
+        super().__init__(text)

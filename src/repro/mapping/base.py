@@ -101,20 +101,27 @@ class Mapping:
 
     @property
     def hop_bytes(self) -> float:
-        """Total hop-bytes of this mapping (cached)."""
-        if self._hop_bytes is None:
-            from repro.mapping.metrics import hop_bytes
+        """Total hop-bytes of this mapping (cached).
 
-            self._hop_bytes = hop_bytes(self._graph, self._topology, self._assignment)
+        Computed through the shared :class:`~repro.mapping.context
+        .MappingContext` for this (graph, topology) pair, so repeated
+        mappings of the same instance reuse one set of edge/distance tables
+        instead of re-deriving them per Mapping object.
+        """
+        if self._hop_bytes is None:
+            from repro.mapping.context import context_for
+
+            self._hop_bytes = context_for(
+                self._graph, self._topology
+            ).hop_bytes(self._assignment)
         return self._hop_bytes
 
     @property
     def hops_per_byte(self) -> float:
         """Average hops traveled per communicated byte."""
-        total = self._graph.total_bytes
-        if total == 0:
-            return 0.0
-        return self.hop_bytes / total
+        from repro.mapping.metrics import hops_ratio
+
+        return hops_ratio(self.hop_bytes, self._graph.total_bytes)
 
     def with_assignment(self, assignment: Sequence[int]) -> "Mapping":
         """A new Mapping over the same graph/topology (used by refiners)."""

@@ -26,6 +26,7 @@ if TYPE_CHECKING:  # circular at runtime: context imports metrics helpers
 __all__ = [
     "hop_bytes",
     "hops_per_byte",
+    "hops_ratio",
     "per_task_hop_bytes",
     "per_link_loads",
     "dilation_stats",
@@ -75,12 +76,24 @@ def hop_bytes(graph: TaskGraph, topology: Topology, assignment: Sequence[int]) -
     return float(np.dot(w, _edge_distances(topology, arr[u], arr[v])))
 
 
+def hops_ratio(hop_bytes_value: float, total_bytes: float) -> float:
+    """``hop_bytes / total_bytes`` with the zero-traffic convention.
+
+    The *single* definition of the guard: a graph that communicates nothing
+    travels zero hops per byte. Every consumer (:func:`hops_per_byte`,
+    :func:`metrics_block`, :attr:`repro.mapping.base.Mapping.hops_per_byte`)
+    divides through this helper so the semantics cannot drift.
+    """
+    if total_bytes == 0:
+        return 0.0
+    return hop_bytes_value / total_bytes
+
+
 def hops_per_byte(graph: TaskGraph, topology: Topology, assignment: Sequence[int]) -> float:
     """Average number of links each byte crosses: hop-bytes / total bytes."""
-    total = graph.total_bytes
-    if total == 0:
-        return 0.0
-    return hop_bytes(graph, topology, assignment) / total
+    return hops_ratio(
+        hop_bytes(graph, topology, assignment), graph.total_bytes
+    )
 
 
 def per_task_hop_bytes(
@@ -224,7 +237,7 @@ def metrics_block(
         }
     return {
         "hop_bytes": hb,
-        "hops_per_byte": hb / total if total else 0.0,
+        "hops_per_byte": hops_ratio(hb, total),
         "load_imbalance": load_imbalance(graph, topology, arr),
         "max_dilation": dil["max"],
         "mean_dilation": dil["mean"],

@@ -57,8 +57,25 @@ class SubTopology(Topology):
         return int(self._nodes[self._check_node(node)])
 
     def from_parent(self, parent_node: int) -> int:
-        """Parent processor id -> local node id (KeyError if outside)."""
-        return self._local[int(parent_node)]
+        """Parent processor id -> local node id (TopologyError if outside).
+
+        Raises :class:`~repro.exceptions.TopologyError` like every other
+        accessor here (``to_parent``/``distance_row``/``neighbors`` go
+        through ``_check_node``) — callers catch one exception type, not a
+        bare ``KeyError`` from the internal lookup table.
+        """
+        parent_node = int(parent_node)
+        local = self._local.get(parent_node)
+        if local is None:
+            if not 0 <= parent_node < self._parent.num_nodes:
+                raise TopologyError(
+                    f"node {parent_node} out of range "
+                    f"[0, {self._parent.num_nodes}) of parent {self._parent.name}"
+                )
+            raise TopologyError(
+                f"parent processor {parent_node} is not part of {self.name}"
+            )
+        return local
 
     @property
     def name(self) -> str:

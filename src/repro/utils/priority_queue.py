@@ -24,9 +24,16 @@ class AddressableMinHeap:
         self._heap: list[object] = []
         self._keys: dict[object, float] = {}
         self._pos: dict[object, int] = {}
+        # Monotonic insertion counter: the final tie-break, so extraction
+        # order is fully determined by (key, item, arrival) for *any* item
+        # type — never by the heap's internal sift history.
+        self._counter = 0
+        self._order: dict[object, int] = {}
         for item, key in items:
             self._keys[item] = key
             self._pos[item] = len(self._heap)
+            self._order[item] = self._counter
+            self._counter += 1
             self._heap.append(item)
         # Floyd heapify: sift down from the last internal node.
         for i in range(len(self._heap) // 2 - 1, -1, -1):
@@ -46,11 +53,22 @@ class AddressableMinHeap:
         ka, kb = self._keys[a], self._keys[b]
         if ka != kb:
             return ka < kb
-        # Deterministic tie-break: smaller item wins (when comparable).
+        return self._tie_break(a, b)
+
+    def _tie_break(self, a: object, b: object) -> bool:
+        # Deterministic tie-break: smaller item wins when items compare;
+        # otherwise (or when they compare equal without being the same
+        # entry) earlier insertion wins. Either way the order is a property
+        # of the input sequence, never of the heap's internal state —
+        # TopoCentLB/FM extraction stays reproducible for any item type.
         try:
-            return a < b  # type: ignore[operator]
+            if a < b:  # type: ignore[operator]
+                return True
+            if b < a:  # type: ignore[operator]
+                return False
         except TypeError:
-            return False
+            pass  # non-comparable items fall through to insertion order
+        return self._order[a] < self._order[b]
 
     def _swap(self, i: int, j: int) -> None:
         h = self._heap
@@ -89,6 +107,8 @@ class AddressableMinHeap:
             raise ValueError(f"item {item!r} already in heap")
         self._keys[item] = key
         self._pos[item] = len(self._heap)
+        self._order[item] = self._counter
+        self._counter += 1
         self._heap.append(item)
         self._sift_up(len(self._heap) - 1)
 
@@ -115,6 +135,7 @@ class AddressableMinHeap:
         key = self._keys.pop(top)
         last = self._heap.pop()
         del self._pos[top]
+        del self._order[top]
         if self._heap:
             self._heap[0] = last
             self._pos[last] = 0
@@ -125,6 +146,7 @@ class AddressableMinHeap:
         """Remove ``item`` wherever it sits; return its key."""
         i = self._pos.pop(item)
         key = self._keys.pop(item)
+        del self._order[item]
         last = self._heap.pop()
         if i < len(self._heap):
             self._heap[i] = last
@@ -142,7 +164,5 @@ class AddressableMaxHeap(AddressableMinHeap):
         ka, kb = self._keys[a], self._keys[b]
         if ka != kb:
             return ka > kb
-        try:
-            return a < b  # ties still pop smallest item first
-        except TypeError:
-            return False
+        # Ties still pop smallest (then earliest-inserted) item first.
+        return self._tie_break(a, b)

@@ -1,0 +1,6 @@
+"""``python -m repro.validate`` — alias for the ``repro-validate`` CLI."""
+
+from repro.validate.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

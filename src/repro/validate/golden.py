@@ -1,0 +1,152 @@
+"""Golden-regression corpus: pinned graph x topology x mapper triples.
+
+Each ``tests/golden/*.json`` file records one fully spec-described mapping
+run — the three specs, the seed, the exact assignment, and the exact
+canonical metrics block. :func:`check_golden` replays the triple through the
+:class:`~repro.engine.MappingEngine` (at any validation level, under either
+kernel) and raises a structured ``golden-drift``
+:class:`~repro.exceptions.ValidationError` if anything moved.
+
+Regenerate *intentionally* with ``repro-validate --regenerate --golden
+tests/golden`` after a deliberate behaviour change, and say so in the commit
+message — EXPERIMENTS.md numbers likely moved too (see docs/VALIDATION.md).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "GOLDEN_FORMAT",
+    "iter_golden_paths",
+    "load_golden",
+    "write_golden",
+    "check_golden",
+]
+
+GOLDEN_FORMAT = "repro-golden-v1"
+
+_REQUIRED_KEYS = ("format", "graph", "topology", "mapper", "seed",
+                  "assignment", "metrics")
+
+
+def iter_golden_paths(root: Path) -> list[Path]:
+    """All corpus files under ``root`` (a directory or one ``.json`` file)."""
+    root = Path(root)
+    if root.is_file():
+        return [root]
+    return sorted(root.glob("*.json"))
+
+
+def load_golden(path: Path) -> dict:
+    """Read and structurally validate one golden document."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValidationError(
+            "golden-format", f"cannot read golden {path}: {exc}",
+            spec={"golden": str(path)},
+        ) from exc
+    if not isinstance(doc, dict) or doc.get("format") != GOLDEN_FORMAT:
+        raise ValidationError(
+            "golden-format",
+            f"{path} is not a {GOLDEN_FORMAT} document "
+            f"(format={doc.get('format') if isinstance(doc, dict) else None!r})",
+            spec={"golden": str(path)},
+        )
+    missing = [key for key in _REQUIRED_KEYS if key not in doc]
+    if missing:
+        raise ValidationError(
+            "golden-format", f"{path} is missing keys {missing}",
+            spec={"golden": str(path)},
+        )
+    return doc
+
+
+def _run_triple(doc: dict, *, validate: str, kernel: str | None):
+    from repro.engine import MappingEngine, MappingRequest
+
+    return MappingEngine().run(MappingRequest(
+        graph=doc["graph"],
+        topology=doc["topology"],
+        mapper=doc["mapper"],
+        seed=doc["seed"],
+        kernel=kernel,
+        validate=validate,
+    ))
+
+
+def write_golden(path: Path, *, graph: str, topology: str, mapper: str,
+                 seed: int = 0) -> dict:
+    """Run the triple at ``--validate full`` and pin its outputs to ``path``."""
+    result = _run_triple(
+        {"graph": graph, "topology": topology, "mapper": mapper, "seed": seed},
+        validate="full", kernel=None,
+    )
+    doc = {
+        "format": GOLDEN_FORMAT,
+        "graph": graph,
+        "topology": topology,
+        "mapper": mapper,
+        "seed": seed,
+        "assignment": result.assignment.tolist(),
+        "metrics": result.metrics,
+    }
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc
+
+
+def check_golden(path: Path, *, level: str = "full",
+                 kernel: str | None = None) -> dict:
+    """Replay one golden triple and compare against its pinned outputs.
+
+    Runs the engine with per-request validation at ``level`` (so every
+    invariant and oracle fires *before* the drift comparison), then checks
+    the assignment and each metric for exact equality — the corpus exists to
+    catch one-ULP drift, not just wrong answers. Returns the engine's
+    metrics block on success.
+    """
+    doc = load_golden(path)
+    spec = {
+        "golden": str(path),
+        "graph": doc["graph"],
+        "topology": doc["topology"],
+        "mapper": doc["mapper"],
+        "seed": doc["seed"],
+        "kernel": kernel,
+    }
+    from repro.validate.core import replay_command
+
+    replay = replay_command(doc["graph"], doc["topology"], doc["mapper"],
+                            doc["seed"], kernel, level)
+    result = _run_triple(doc, validate=level, kernel=kernel)
+
+    pinned = np.asarray(doc["assignment"], dtype=np.int64)
+    if not np.array_equal(result.assignment, pinned):
+        diff = np.flatnonzero(result.assignment != pinned)
+        raise ValidationError(
+            "golden-drift",
+            f"assignment drifted from {path} at {len(diff)} tasks "
+            f"(first: {diff[:8].tolist()}); if intentional, regenerate with "
+            f"'repro-validate --regenerate --golden {Path(path).parent}'",
+            spec=spec, replay=replay,
+            details={"differing_tasks": int(len(diff))},
+        )
+    for key, want in doc["metrics"].items():
+        got = result.metrics.get(key)
+        if got != want:
+            raise ValidationError(
+                "golden-drift",
+                f"metric {key!r} drifted from {path}: pinned {want!r}, "
+                f"got {got!r}; if intentional, regenerate with "
+                f"'repro-validate --regenerate --golden {Path(path).parent}'",
+                spec=spec, replay=replay,
+                details={"metric": key, "pinned": want, "got": got},
+            )
+    return result.metrics

@@ -137,3 +137,71 @@ class TestEviction:
         assert stored is arr and not arr.flags.writeable
         assert shared_get(("test-key",)) is arr
         assert shared_get(("absent",)) is None
+
+
+class TestEvictionPressure:
+    """Eviction must never change *values* — only who pays the recompute."""
+
+    @staticmethod
+    def _flood(count=MAX_ENTRIES + 4, start=50):
+        # Distinct 1-D mesh shapes, one shared-cache entry each.
+        for n in range(start, start + count):
+            Mesh((n,)).distance_matrix(np.float64)
+
+    def test_refetched_table_is_bit_identical(self):
+        key = (Torus((4, 4)).cache_key(), "distance_matrix",
+               np.dtype(np.float64).str)
+        before = np.array(Torus((4, 4)).distance_matrix(np.float64))
+        self._flood()
+        assert key not in topology_cache_info()["keys"]  # evicted
+        refetched = Torus((4, 4)).distance_matrix(np.float64)
+        assert np.array_equal(refetched, before)
+        assert refetched.dtype == before.dtype
+
+    def test_refetched_table_is_still_read_only(self):
+        Torus((4, 4)).distance_matrix(np.float64)
+        self._flood()
+        refetched = Torus((4, 4)).distance_matrix(np.float64)
+        assert not refetched.flags.writeable
+        with pytest.raises(ValueError):
+            refetched[0] = 0
+
+    def test_derived_vectors_survive_eviction_cycle(self):
+        v_before = np.array(average_distance_vector(Torus((4, 4))))
+        c_before = np.array(centered_distance_matrix(Torus((4, 4))))
+        self._flood()
+        np.testing.assert_array_equal(
+            average_distance_vector(Torus((4, 4))), v_before)
+        np.testing.assert_array_equal(
+            centered_distance_matrix(Torus((4, 4))), c_before)
+
+    def test_lru_refresh_protects_hot_entry(self):
+        hot = (Torus((4, 4)).cache_key(), "distance_matrix",
+               np.dtype(np.float64).str)
+        Torus((4, 4)).distance_matrix(np.float64)
+        # Touch the hot entry between batches of cold fills: a get must
+        # refresh recency, so the hot entry outlives both batches.
+        self._flood(count=MAX_ENTRIES - 2, start=50)
+        Torus((4, 4)).distance_matrix(np.float64)
+        self._flood(count=MAX_ENTRIES - 2, start=200)
+        assert hot in topology_cache_info()["keys"]
+
+    def test_counters_stay_consistent_under_eviction(self):
+        prof = obs.enable()
+        try:
+            lookups = 0
+            # Fresh instance per call so every lookup goes to the shared
+            # cache (the per-instance cache would otherwise absorb repeats).
+            Torus((4, 4)).distance_matrix(np.float64); lookups += 1  # miss
+            Torus((4, 4)).distance_matrix(np.float64); lookups += 1  # hit
+            flood = MAX_ENTRIES + 4
+            self._flood(count=flood); lookups += flood               # misses
+            Torus((4, 4)).distance_matrix(np.float64); lookups += 1  # miss again
+            hits = prof.counters.get("topology.cache.hits", 0)
+            misses = prof.counters.get("topology.cache.misses", 0)
+            assert hits + misses == lookups
+            assert hits == 1
+            assert misses == lookups - 1
+            assert topology_cache_info()["entries"] <= MAX_ENTRIES
+        finally:
+            obs.disable()

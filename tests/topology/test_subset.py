@@ -34,8 +34,18 @@ class TestSubTopology:
         sub = SubTopology(parent, [4, 7, 2])
         assert sub.to_parent(0) == 4
         assert sub.from_parent(7) == 1
-        with pytest.raises(KeyError):
+        # Misses raise TopologyError like every other accessor — never a
+        # bare KeyError from the internal lookup table.
+        with pytest.raises(TopologyError, match="not part of"):
             sub.from_parent(0)
+
+    def test_from_parent_distinguishes_out_of_range(self):
+        parent = Mesh((3, 3))
+        sub = SubTopology(parent, [4, 7, 2])
+        with pytest.raises(TopologyError, match="out of range"):
+            sub.from_parent(9)
+        with pytest.raises(TopologyError, match="out of range"):
+            sub.from_parent(-1)
 
     def test_neighbors_restricted(self):
         parent = Mesh((3, 3))

@@ -74,6 +74,74 @@ class TestMinHeapBasics:
         assert [heap.pop()[0] for _ in range(4)] == [0, 2, 5, 9]
 
 
+class _Opaque:
+    """An item with identity but no ordering (like a mapper work token)."""
+
+    def __init__(self, tag):
+        self.tag = tag
+
+    def __repr__(self):
+        return f"_Opaque({self.tag})"
+
+
+class TestNonComparableTieBreak:
+    def test_insertion_order_breaks_key_ties(self):
+        items = [_Opaque(i) for i in range(6)]
+        heap = AddressableMinHeap()
+        for item in items:
+            heap.push(item, 1.0)
+        # Equal keys, items with no __lt__: first-in pops first, always.
+        assert [heap.pop()[0].tag for _ in range(6)] == [0, 1, 2, 3, 4, 5]
+
+    def test_order_survives_update_churn(self):
+        items = [_Opaque(i) for i in range(5)]
+        heap = AddressableMinHeap()
+        for item in items:
+            heap.push(item, float(item.tag))
+        # Collapse every key onto the same value in scrambled order; the
+        # *insertion* counter (not the churn order) must decide ties.
+        for item in (items[3], items[0], items[4], items[2], items[1]):
+            heap.update(item, 7.0)
+        assert [heap.pop()[0].tag for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_mixed_comparable_and_not(self):
+        # int < _Opaque raises TypeError; the heap must not blow up and
+        # must still order the tie deterministically by insertion.
+        heap = AddressableMinHeap()
+        heap.push(_Opaque("a"), 2.0)
+        heap.push(5, 2.0)
+        heap.push(_Opaque("b"), 1.0)
+        first = heap.pop()
+        assert first[0].tag == "b"
+        assert heap.pop()[0].tag == "a"  # pushed before the int
+        assert heap.pop()[0] == 5
+
+    def test_comparable_items_still_win_over_insertion_order(self):
+        heap = AddressableMinHeap()
+        heap.push(9, 1.0)
+        heap.push(2, 1.0)  # later insertion, smaller item: item order wins
+        assert heap.pop()[0] == 2
+
+    def test_max_heap_insertion_order_on_ties(self):
+        heap = AddressableMaxHeap()
+        tokens = [_Opaque(i) for i in range(4)]
+        for token in tokens:
+            heap.push(token, 3.0)
+        assert [heap.pop()[0].tag for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_counter_slot_freed_on_pop_and_remove(self):
+        heap = AddressableMinHeap()
+        a, b = _Opaque("a"), _Opaque("b")
+        heap.push(a, 1.0)
+        heap.push(b, 1.0)
+        heap.remove(a)
+        assert heap.pop()[0] is b
+        # Re-pushing a removed item must not resurrect its stale counter.
+        heap.push(b, 1.0)
+        heap.push(a, 1.0)
+        assert [heap.pop()[0] for _ in range(2)] == [b, a]
+
+
 class TestMaxHeap:
     def test_pop_order_is_descending(self):
         heap = AddressableMaxHeap([(i, k) for i, k in enumerate([3, 9, 1, 7])])

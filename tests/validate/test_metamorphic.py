@@ -1,0 +1,46 @@
+"""Metamorphic properties: transformed inputs with predictable metric moves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Mesh, Torus, mesh2d_pattern, random_taskgraph
+from repro.engine import mapper_from_spec
+from repro.validate import validate_mapping
+
+
+def _status(report, invariant):
+    return {c.invariant: c for c in report.checks}[invariant]
+
+
+@pytest.mark.parametrize("mapper_spec", ["topolb", "topocentlb", "identity"])
+def test_properties_hold_on_torus(mapper_spec):
+    graph = mesh2d_pattern(4, 4, message_bytes=512)
+    topo = Torus((4, 4))
+    assignment = mapper_from_spec(mapper_spec, 0).map(graph, topo).assignment
+    report = validate_mapping(
+        graph, topo, assignment, level="full",
+        mapper_spec=mapper_spec, seed=0,
+    )
+    assert _status(report, "relabel-invariance").status == "ok"
+    assert _status(report, "scale-invariance").status == "ok"
+    assert _status(report, "torus-rotation").status == "ok"
+
+
+def test_properties_hold_on_irregular_graph():
+    graph = random_taskgraph(32, edge_prob=0.2, seed=7)
+    topo = Torus((8, 4))
+    assignment = mapper_from_spec("topolb", 3).map(graph, topo).assignment
+    report = validate_mapping(graph, topo, assignment, level="full", seed=3)
+    assert _status(report, "relabel-invariance").status == "ok"
+    assert _status(report, "scale-invariance").status == "ok"
+
+
+def test_torus_rotation_skipped_off_torus():
+    graph = mesh2d_pattern(4, 4, message_bytes=8.0)
+    topo = Mesh((4, 4))  # open boundaries: the rotation is not an automorphism
+    assignment = mapper_from_spec("topolb", 0).map(graph, topo).assignment
+    report = validate_mapping(graph, topo, assignment, level="full")
+    assert _status(report, "torus-rotation").status == "skipped"
+    assert _status(report, "relabel-invariance").status == "ok"
+    assert _status(report, "scale-invariance").status == "ok"
