@@ -132,6 +132,7 @@ def run_mapping(graph_path: Path, is_lb_dump: bool, topology_spec: str,
         centered_distance_matrix,
     )
     from repro.mapping.kernels import get_default_kernel, set_default_kernel
+    from repro.mapping.metrics import _MATRIX_LIMIT
     from repro.runtime.lbdb import LBDatabase
     from repro.runtime.simulation import replay_strategy
     from repro.taskgraph.io import load_taskgraph
@@ -151,9 +152,13 @@ def run_mapping(graph_path: Path, is_lb_dump: bool, topology_spec: str,
             topology = topology_from_spec(topology_spec)
             # Building the machine model is part of loading it: warm the
             # shared distance tables here so the mapper timers below measure
-            # mapping, not O(p^2) table construction.
-            average_distance_vector(topology)
-            centered_distance_matrix(topology)
+            # mapping, not O(p^2) table construction. Above the dense-table
+            # limit the mappers themselves never materialize a p x p matrix
+            # (they stream distance rows), so warming one here would be the
+            # only O(p^2) allocation in the whole run — skip it.
+            if topology.num_nodes <= _MATRIX_LIMIT:
+                average_distance_vector(topology)
+                centered_distance_matrix(topology)
 
         with obs.timer("cli.map"):
             report, mapping = replay_strategy(database, topology, strategy, seed=seed)

@@ -10,10 +10,15 @@ Mirrors :mod:`repro.topology.factory`: a mapper is named by a short
     pipeline:inner=topolb,order=3;refine=on
 
 Option values that are themselves mapper specs (``refine:base=...``,
-``pipeline:inner=...``) use ``,`` instead of ``;`` to separate their own
-options — one nesting level, which covers every composition the paper uses
-(``pipeline`` already owns the partition and refine stages, so nothing needs
-a nested pipeline).
+``pipeline:inner=...``, ``multilevel:inner=...``) use ``,`` instead of ``;``
+to separate their own options — one nesting level, which covers every
+composition the paper uses (``pipeline`` already owns the partition and
+refine stages, so nothing needs a nested pipeline). A fully ','-separated
+spelling such as ``multilevel:inner=topolb,levels=auto`` also parses:
+trailing ``key=value`` segments that fail to parse as nested options and
+name options of the *enclosing* kind spill back out to it (use the explicit
+``inner=topolb:kernel=reference`` colon form to force inner binding when a
+key exists on both sides).
 
 The classic Charm++ strategy names (``TopoLB``, ``RefineTopoLB``,
 ``GreedyLB``, ...) remain valid everywhere a spec is accepted: they are
@@ -67,6 +72,19 @@ def _parse_positive_int(text: str) -> int:
     return value
 
 
+def _parse_nonnegative_int(text: str) -> int:
+    value = _parse_int(text)
+    if value < 0:
+        raise SpecError(f"expected a non-negative integer, got {text!r}")
+    return value
+
+
+def _parse_levels(text: str) -> object:
+    if text.strip().lower() == "auto":
+        return "auto"
+    return _parse_positive_int(text)
+
+
 def _parse_flag(text: str) -> bool:
     low = text.strip().lower()
     if low in ("on", "true", "1", "yes"):
@@ -89,6 +107,10 @@ class OptionSpec:
     choices: tuple[str, ...] | None = None
     #: parsed value -> canonical string (identity-ish by default).
     canon: Callable[[object], str] = field(default=str, repr=False)
+    #: True when the value is itself a mapper spec (',' separators) — such
+    #: values may carry trailing options of the *enclosing* kind, which the
+    #: parser spills back out when the full value fails to parse.
+    nested: bool = False
 
     def parse_value(self, text: str) -> object:
         text = text.strip()
@@ -141,7 +163,9 @@ def _canon_nested(parsed: object) -> str:
 def _nested_opt(name: str, doc: str, default: str) -> OptionSpec:
     # The value is itself a mapper spec; parse eagerly so errors surface at
     # parse time, canonicalize recursively.
-    return OptionSpec(name, doc, default, parse=_parse_nested, canon=_canon_nested)
+    return OptionSpec(
+        name, doc, default, parse=_parse_nested, canon=_canon_nested, nested=True
+    )
 
 
 _KERNEL_OPT = _choice(
@@ -303,6 +327,21 @@ def _build_pipeline(opts, seed):
     return TwoPhaseMapper(partitioner=partitioner, mapper=mapper, refiner=refiner)
 
 
+def _build_multilevel(opts, seed):
+    from repro.mapping.hierarchical import HierarchicalMapper
+
+    inner = opts.get("inner")
+    return HierarchicalMapper(
+        inner=inner.build(seed) if inner is not None else None,
+        levels=opts.get("levels", "auto"),
+        refine_window=int(opts.get("refine_window", 2)),
+        stop=int(opts.get("stop", 1024)),
+        aggregate=str(opts.get("aggregate", "representative")),
+        seed=seed or 0,
+        kernel=_kernel_arg(opts),
+    )
+
+
 #: kind -> MapperKind. Option order here *is* canonical order.
 MAPPER_KINDS: dict[str, MapperKind] = {
     kind.kind: kind
@@ -386,6 +425,25 @@ MAPPER_KINDS: dict[str, MapperKind] = {
             ),
             _build_pipeline,
         ),
+        MapperKind(
+            "multilevel", "hierarchical coarsen -> map -> uncoarsen mapper "
+            "for machines beyond the dense-table limit",
+            (
+                _nested_opt("inner", "coarsest-level mapper "
+                            "(a spec with ',' separators)", "topolb"),
+                OptionSpec("levels", "machine-coarsening level cap, or auto",
+                           "auto", parse=_parse_levels),
+                OptionSpec("refine_window",
+                           "RefineTopoLB sweeps per uncoarsening level "
+                           "(0 disables)", "2", parse=_parse_nonnegative_int),
+                _int_opt("stop", "machine size the inner mapper runs at",
+                         "1024"),
+                _choice("aggregate", "coarse-machine distance aggregation",
+                        "representative", "representative", "mean"),
+                _KERNEL_OPT,
+            ),
+            _build_multilevel,
+        ),
     )
 }
 
@@ -407,10 +465,34 @@ STRATEGY_SPECS: dict[str, str] = {
     "RecursiveEmbedLB": "pipeline:inner=recursive",
     "LinearOrderLB": "pipeline:inner=linear",
     "HybridTopoLB": "pipeline:inner=hybrid",
+    "MultilevelLB": "multilevel:inner=topolb",
 }
 
 
 # -------------------------------------------------------------------- parsing
+def _split_nested_tail(
+    kind: MapperKind, value: str
+) -> tuple[str, list[str] | None]:
+    """Peel trailing ``key=value`` comma segments naming options of ``kind``.
+
+    Returns ``(head, spilled)`` where ``head`` is the remaining nested spec
+    and ``spilled`` the peeled segments — or ``(value, None)`` when nothing
+    peels (the caller then re-raises the original parse error).
+    """
+    segments = value.split(",")
+    names = {o.name for o in kind.options}
+    cut = len(segments)
+    while cut > 1:
+        seg_key, sep, _ = segments[cut - 1].partition("=")
+        if sep and seg_key.strip().lower() in names:
+            cut -= 1
+        else:
+            break
+    if cut == len(segments):
+        return value, None
+    return ",".join(segments[:cut]), segments[cut:]
+
+
 def parse_mapper_spec(spec: str) -> ParsedSpec:
     """Parse and validate a mapper spec (or strategy alias) string.
 
@@ -435,10 +517,9 @@ def parse_mapper_spec(spec: str) -> ParsedSpec:
         )
 
     options: dict[str, object] = {}
-    for item in params.split(";"):
-        item = item.strip()
-        if not item:
-            continue
+    queue = [item.strip() for item in params.split(";") if item.strip()]
+    while queue:
+        item = queue.pop(0)
         key, sep, value = item.partition("=")
         key = key.strip().lower()
         if not sep:
@@ -448,7 +529,23 @@ def parse_mapper_spec(spec: str) -> ParsedSpec:
         opt = kind.option(key)  # raises SpecError on unknown keys
         if key in options:
             raise SpecError(f"duplicate option {key!r} in {spec!r}")
-        options[key] = opt.parse_value(value)
+        try:
+            options[key] = opt.parse_value(value)
+        except SpecError:
+            # A nested value like ``inner=topolb,levels=auto`` may carry
+            # trailing ','-separated options of the *enclosing* kind (the
+            # natural spelling when the whole spec uses ','). Only re-split
+            # when the full value fails to parse, so every currently-valid
+            # spec keeps its meaning; within the tail, keys of the enclosing
+            # kind bind outward (use the explicit ':' nested form to force
+            # inner binding).
+            head, spilled = (None, None)
+            if opt.nested and "," in value:
+                head, spilled = _split_nested_tail(kind, value)
+            if spilled is None:
+                raise
+            options[key] = opt.parse_value(head)
+            queue.extend(seg.strip() for seg in spilled)
 
     canonical = kind_name
     given = [opt for opt in kind.options if opt.name in options]

@@ -46,6 +46,7 @@ from repro.mapping.topocentlb import TopoCentLB
 from repro.mapping.refine import RefineTopoLB
 from repro.mapping.random_map import RandomMapper, IdentityMapper
 from repro.mapping.pipeline import TwoPhaseMapper
+from repro.mapping.hierarchical import HierarchicalMapper
 from repro.mapping.analysis import expected_random_hops_per_byte
 from repro.mapping.annealing import SimulatedAnnealingMapper
 from repro.mapping.recursive_embedding import RecursiveEmbeddingMapper
@@ -78,6 +79,7 @@ __all__ = [
     "RandomMapper",
     "IdentityMapper",
     "TwoPhaseMapper",
+    "HierarchicalMapper",
     "expected_random_hops_per_byte",
     "SimulatedAnnealingMapper",
     "RecursiveEmbeddingMapper",

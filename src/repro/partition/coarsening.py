@@ -15,7 +15,15 @@ import numpy as np
 from repro.taskgraph.graph import TaskGraph
 from repro.utils.rng import as_rng
 
-__all__ = ["heavy_edge_matching", "contract"]
+__all__ = [
+    "heavy_edge_matching",
+    "contract",
+    "pair_unmatched",
+    "limit_pairs",
+    "coarsen_step",
+    "coarsen_toward",
+    "coarsen_levels",
+]
 
 
 def heavy_edge_matching(
@@ -43,23 +51,145 @@ def heavy_edge_matching(
 def contract(graph: TaskGraph, match: np.ndarray) -> tuple[TaskGraph, np.ndarray]:
     """Contract matched pairs; return (coarse graph, fine→coarse map)."""
     n = graph.num_tasks
-    fine2coarse = np.full(n, -1, dtype=np.int64)
-    next_id = 0
-    for v in range(n):
-        if fine2coarse[v] >= 0:
-            continue
-        partner = int(match[v])
-        fine2coarse[v] = next_id
-        fine2coarse[partner] = next_id
-        next_id += 1
+    match = np.asarray(match, dtype=np.int64)
+    ids = np.arange(n, dtype=np.int64)
+    if np.array_equal(match[match], ids):
+        # Symmetric matching (what heavy_edge_matching produces): coarse ids
+        # are assigned by ascending first member, i.e. the rank of each
+        # pair's smaller endpoint — same numbering the sequential scan gives.
+        rep = np.minimum(ids, match)
+        _, fine2coarse = np.unique(rep, return_inverse=True)
+        fine2coarse = fine2coarse.astype(np.int64)
+        next_id = int(fine2coarse.max()) + 1
+    else:
+        fine2coarse = np.full(n, -1, dtype=np.int64)
+        next_id = 0
+        for v in range(n):
+            if fine2coarse[v] >= 0:
+                continue
+            partner = int(match[v])
+            fine2coarse[v] = next_id
+            fine2coarse[partner] = next_id
+            next_id += 1
 
     loads = np.bincount(fine2coarse, weights=graph.vertex_weights, minlength=next_id)
     u, vv, w = graph.edge_arrays()
     cu, cv = fine2coarse[u], fine2coarse[vv]
     keep = cu != cv  # intra-pair edges disappear into the coarse vertex
-    coarse = TaskGraph(
-        next_id,
-        zip(cu[keep].tolist(), cv[keep].tolist(), w[keep].tolist()),
-        loads,
-    )
+    coarse = TaskGraph.from_arrays(next_id, cu[keep], cv[keep], w[keep], loads)
     return coarse, fine2coarse
+
+
+def pair_unmatched(match: np.ndarray) -> np.ndarray:
+    """Forcibly pair leftover self-matched vertices, consecutively by id.
+
+    Heavy-edge matching leaves a vertex single when all its neighbors are
+    already taken (stars), when it has no neighbors at all (singletons), or
+    when ties starve it. Pairing the leftovers two-by-two guarantees every
+    contraction shrinks the graph to ``ceil(n/2)`` vertices, which is what
+    makes multilevel coarsening terminate on pathological graphs. One vertex
+    stays single when the leftover count is odd.
+    """
+    match = np.asarray(match, dtype=np.int64).copy()
+    singles = np.flatnonzero(match == np.arange(len(match)))
+    for i in range(0, len(singles) - 1, 2):
+        a, b = int(singles[i]), int(singles[i + 1])
+        match[a] = b
+        match[b] = a
+    return match
+
+
+def limit_pairs(
+    graph: TaskGraph, match: np.ndarray, max_pairs: int
+) -> np.ndarray:
+    """Keep only the ``max_pairs`` heaviest matched pairs; unmatch the rest.
+
+    A full contraction halves the graph, which overshoots when only a few
+    merges are needed (e.g. 64 tasks onto 61 healthy processors needs 3, not
+    32). Ranking pairs by the weight of their connecting edge (0 for
+    force-paired leftovers, ties to the smallest endpoint id) keeps the
+    merges that hide the most communication volume and releases the rest, so
+    a contraction can land on an exact target size.
+    """
+    match = np.asarray(match, dtype=np.int64).copy()
+    n = len(match)
+    ids = np.arange(n, dtype=np.int64)
+    a = np.flatnonzero(match > ids)  # each pair once, keyed by smaller endpoint
+    if len(a) <= max_pairs:
+        return match
+    if max_pairs <= 0:
+        return ids
+    b = match[a]
+    weights = np.zeros(len(a), dtype=np.float64)
+    pair_of = np.full(n, -1, dtype=np.int64)
+    pair_of[a] = np.arange(len(a), dtype=np.int64)
+    eu, ev, ew = graph.edge_arrays()
+    sel = match[eu] == ev  # the edge connects a matched pair (eu < ev always)
+    weights[pair_of[eu[sel]]] = ew[sel]
+    order = np.lexsort((a, -weights))  # heaviest first, ties to smallest id
+    drop = order[max_pairs:]
+    match[a[drop]] = a[drop]
+    match[b[drop]] = b[drop]
+    return match
+
+
+def coarsen_step(
+    graph: TaskGraph,
+    seed: int | np.random.Generator | None = 0,
+    force: bool = False,
+) -> tuple[TaskGraph, np.ndarray]:
+    """One coarsening level: match, optionally force-pair leftovers, contract.
+
+    Returns ``(coarse graph, fine→coarse map)``. With ``force`` the coarse
+    graph has exactly ``ceil(n/2)`` vertices.
+    """
+    match = heavy_edge_matching(graph, seed)
+    if force:
+        match = pair_unmatched(match)
+    return contract(graph, match)
+
+
+def coarsen_toward(
+    graph: TaskGraph, target: int, seed: int | np.random.Generator | None = 0
+) -> tuple[TaskGraph, np.ndarray]:
+    """One forced coarsening level that never shrinks below ``target``.
+
+    The result has exactly ``max(target, ceil(n/2))`` vertices: a full
+    forced halving when the graph is still far above the target, a partial
+    contraction of just the heaviest ``n - target`` pairs on the final
+    approach. Returns ``(coarse graph, fine→coarse map)``.
+    """
+    target = max(1, int(target))
+    match = pair_unmatched(heavy_edge_matching(graph, seed))
+    match = limit_pairs(graph, match, graph.num_tasks - target)
+    return contract(graph, match)
+
+
+def coarsen_levels(
+    graph: TaskGraph,
+    target: int,
+    seed: int = 0,
+    max_levels: int | None = None,
+    force: bool = True,
+) -> tuple[TaskGraph, list[np.ndarray]]:
+    """Coarsen until at most ``target`` vertices (or the level budget ends).
+
+    Returns ``(coarsest graph, maps)`` where ``maps`` lists the fine→coarse
+    vertex map of every level, finest first; composing them (``maps[-1][...
+    maps[0]]`` read right to left) prolongs a coarse labeling back to the
+    original vertices. With ``force`` (default) each level halves the vertex
+    count, so the loop terminates on stars, singleton clouds, zero-weight
+    edges, and any other graph that starves the matching.
+    """
+    target = max(1, int(target))
+    maps: list[np.ndarray] = []
+    g = graph
+    while g.num_tasks > target:
+        if max_levels is not None and len(maps) >= max_levels:
+            break
+        coarse, fine2coarse = coarsen_step(g, seed=seed + len(maps), force=force)
+        if coarse.num_tasks >= g.num_tasks:
+            break  # matching found nothing to merge and force is off
+        maps.append(fine2coarse)
+        g = coarse
+    return g, maps

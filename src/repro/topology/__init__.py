@@ -15,6 +15,7 @@ from repro.topology.hypercube import Hypercube
 from repro.topology.fattree import FatTree
 from repro.topology.graph import ArbitraryTopology
 from repro.topology.subset import SubTopology
+from repro.topology.aggregate import GroupedTopology, coarsen_machine
 from repro.topology.matrix import MatrixTopology
 from repro.topology.factory import topology_from_spec
 
@@ -26,6 +27,8 @@ __all__ = [
     "FatTree",
     "ArbitraryTopology",
     "SubTopology",
+    "GroupedTopology",
+    "coarsen_machine",
     "MatrixTopology",
     "topology_from_spec",
 ]

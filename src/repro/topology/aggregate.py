@@ -1,0 +1,311 @@
+"""Processor-group aggregation — coarse machines for the multilevel mapper.
+
+A :class:`GroupedTopology` collapses disjoint processor groups of a parent
+machine into single coarse nodes, giving the multilevel mapper a machine
+whose size matches its coarsened task graph. Like
+:class:`~repro.topology.subset.SubTopology` it is *metric-only*: mappers see
+honest inter-group distances, but there are no physical links to route
+over, so :meth:`route` raises.
+
+Two distance aggregations are supported:
+
+* ``representative`` (default) — ``d(A, B) = d_parent(rep_A, rep_B)`` for
+  one designated member per group. Exact machine distances, never needs a
+  parent-sized dense table when the ancestry bottoms out in a grid (the
+  closed form runs on representative coordinates directly) — this is what
+  keeps 10^5+-processor tori coarsenable.
+* ``mean`` — ``d(A, B)`` is the mean parent distance over all member pairs
+  (diagonal forced to 0). Smoother, but requires the parent's dense matrix
+  and is therefore refused above the dense-table limit.
+
+:func:`coarsen_machine` builds the standard halving step: grid machines
+halve their largest extent (subtorus pairing, so groups stay geometric
+blocks), everything else pairs consecutive node ids (a dimension collapse
+on hypercubes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.topology.base import Topology
+from repro.topology.grid import GridTopology
+
+__all__ = ["GroupedTopology", "coarsen_machine"]
+
+#: Mirrors repro.mapping.metrics._MATRIX_LIMIT: above this parent size we
+#: refuse to materialize a parent-sized dense table for aggregation.
+_PARENT_MATRIX_LIMIT = 8192
+
+
+class GroupedTopology(Topology):
+    """A machine whose nodes are disjoint processor groups of ``parent``.
+
+    Parameters
+    ----------
+    parent:
+        The finer machine (may itself be a :class:`GroupedTopology`; the
+        representative chain composes down to the non-grouped root).
+    groups:
+        ``(parent.num_nodes,)`` int array, ``groups[i]`` = coarse node of
+        parent node ``i``. Every id in ``0..k-1`` must occur.
+    aggregate:
+        ``"representative"`` or ``"mean"`` (see module docstring).
+    reps:
+        Optional explicit representative per group (must be a member).
+        Defaults to each group's smallest member id. :func:`coarsen_machine`
+        passes the smallest *allowed* member on degraded machines so
+        representative distances never read a dead processor's sentinel row.
+    """
+
+    def __init__(
+        self,
+        parent: Topology,
+        groups: np.ndarray,
+        aggregate: str = "representative",
+        reps: np.ndarray | None = None,
+    ):
+        groups = np.asarray(groups, dtype=np.int64)
+        if groups.shape != (parent.num_nodes,):
+            raise TopologyError(
+                f"groups must have shape ({parent.num_nodes},), got {groups.shape}"
+            )
+        if groups.min() < 0:
+            raise TopologyError("group ids must be non-negative")
+        k = int(groups.max()) + 1
+        counts = np.bincount(groups, minlength=k)
+        if (counts == 0).any():
+            missing = int(np.flatnonzero(counts == 0)[0])
+            raise TopologyError(f"coarse node {missing} has no members")
+        if aggregate not in ("representative", "mean"):
+            raise TopologyError(
+                f"aggregate must be 'representative' or 'mean', got {aggregate!r}"
+            )
+        super().__init__(k)
+        self._parent = parent
+        self._groups = groups.copy()
+        self._groups.flags.writeable = False
+        self._aggregate = aggregate
+
+        p = parent.num_nodes
+        if reps is None:
+            reps_arr = np.full(k, p, dtype=np.int64)
+            np.minimum.at(reps_arr, self._groups, np.arange(p, dtype=np.int64))
+        else:
+            reps_arr = np.asarray(reps, dtype=np.int64).copy()
+            if reps_arr.shape != (k,):
+                raise TopologyError(f"reps must have shape ({k},), got {reps_arr.shape}")
+            if not np.array_equal(self._groups[reps_arr], np.arange(k)):
+                raise TopologyError("each representative must belong to its group")
+        reps_arr.flags.writeable = False
+        self._reps = reps_arr
+
+        # Compose representative chains down to the non-grouped root so grid
+        # closed forms (and degraded BFS rows) always run on real machine ids.
+        if isinstance(parent, GroupedTopology):
+            self._root: Topology = parent._root
+            self._root_reps = parent._root_reps[self._reps]
+        else:
+            self._root = parent
+            self._root_reps = self._reps
+        self._mean_matrix: np.ndarray | None = None
+        self._neighbor_lists: list[list[int]] | None = None
+
+    # ------------------------------------------------------------- structure
+    @property
+    def parent(self) -> Topology:
+        """The finer machine this one aggregates."""
+        return self._parent
+
+    @property
+    def groups(self) -> np.ndarray:
+        """Read-only parent-node → coarse-node map."""
+        return self._groups
+
+    @property
+    def representatives(self) -> np.ndarray:
+        """Read-only representative parent node per coarse node."""
+        return self._reps
+
+    @property
+    def aggregate(self) -> str:
+        """The distance aggregation mode."""
+        return self._aggregate
+
+    def member_lists(self) -> list[np.ndarray]:
+        """Member parent-node ids per coarse node, each ascending."""
+        order = np.argsort(self._groups, kind="stable")
+        counts = np.bincount(self._groups, minlength=self._num_nodes)
+        return np.split(order, np.cumsum(counts)[:-1])
+
+    def cache_key(self) -> tuple | None:
+        parent_key = self._parent.cache_key()
+        if parent_key is None:
+            return None
+        return (
+            "GroupedTopology",
+            parent_key,
+            self._aggregate,
+            self._groups.tobytes(),
+            self._reps.tobytes(),
+        )
+
+    # -------------------------------------------------------------- distances
+    def distance_matrix(self, dtype: np.dtype | type = np.int32) -> np.ndarray:
+        if self._aggregate != "mean":
+            return super().distance_matrix(dtype)
+        # Mean distances are fractional: every dtype must be cast from the
+        # exact float64 mean matrix, never derived from a truncated integer
+        # cache entry (which the base class would happily use as a source).
+        dt = np.dtype(dtype)
+        mat = self._distance_matrices.get(dt)
+        if mat is None:
+            mat = self._mean_distance_matrix().astype(dt)
+            mat.flags.writeable = False
+            self._distance_matrices[dt] = mat
+        return mat
+
+    def distance_row(self, node: int) -> np.ndarray:
+        node = self._check_node(node)
+        if self._aggregate == "mean":
+            return self._mean_distance_matrix()[node]
+        root, rr = self._root, self._root_reps
+        if isinstance(root, GridTopology):
+            coords = root.coords_array()[rr]
+            delta = np.abs(coords - coords[node])
+            if root.wraparound:
+                shape = np.asarray(root.shape, dtype=np.int32)
+                delta = np.minimum(delta, shape - delta)
+            return delta.sum(axis=1, dtype=np.int32)
+        return np.asarray(root.distance_row(int(rr[node])))[rr]
+
+    def _build_distance_matrix(self, dtype: np.dtype) -> np.ndarray:
+        if self._aggregate == "mean":
+            return self._mean_distance_matrix().astype(dtype)
+        root, rr = self._root, self._root_reps
+        if not isinstance(root, GridTopology) and root.num_nodes <= _PARENT_MATRIX_LIMIT:
+            # One gather from the root's (cached) matrix beats k BFS rows.
+            return root.distance_matrix()[np.ix_(rr, rr)].astype(dtype)
+        return super()._build_distance_matrix(dtype)
+
+    def _mean_distance_matrix(self) -> np.ndarray:
+        if self._mean_matrix is None:
+            p = self._parent.num_nodes
+            if p > _PARENT_MATRIX_LIMIT:
+                raise TopologyError(
+                    f"mean aggregation needs the parent's dense distance "
+                    f"matrix, refused at p={p} > {_PARENT_MATRIX_LIMIT}; "
+                    "use aggregate='representative' on large machines"
+                )
+            mat = self._parent.distance_matrix(np.float64)
+            k = self._num_nodes
+            counts = np.bincount(self._groups, minlength=k).astype(np.float64)
+            ind = np.zeros((p, k), dtype=np.float64)
+            ind[np.arange(p), self._groups] = 1.0
+            mean = (ind.T @ mat @ ind) / np.outer(counts, counts)
+            # Intra-group traffic is free on the coarse machine (identity
+            # axiom); zeroing the diagonal keeps the triangle inequality.
+            np.fill_diagonal(mean, 0.0)
+            mean.flags.writeable = False
+            self._mean_matrix = mean
+        return self._mean_matrix
+
+    # ------------------------------------------------------------ connectivity
+    def neighbors(self, node: int) -> list[int]:
+        node = self._check_node(node)
+        if self._neighbor_lists is None:
+            sets: list[set[int]] = [set() for _ in range(self._num_nodes)]
+            g = self._groups
+            for a, b in self._parent.links():
+                ga, gb = int(g[a]), int(g[b])
+                if ga != gb:
+                    sets[ga].add(gb)
+                    sets[gb].add(ga)
+            self._neighbor_lists = [sorted(s) for s in sets]
+        return list(self._neighbor_lists[node])
+
+    # ---------------------------------------------------------------- routing
+    def route(self, src: int, dst: int) -> list[int]:
+        raise TopologyError(
+            "grouped (coarse) machines are metric-only — no physical links "
+            "to route over; route on the parent machine instead"
+        )
+
+    @property
+    def name(self) -> str:
+        return f"grouped({self._parent.name}/{self._num_nodes})"
+
+
+def _grid_shape_of(topology: Topology) -> tuple[int, ...] | None:
+    """The coordinate shape to halve, when the machine is grid-structured."""
+    if isinstance(topology, GridTopology):
+        return topology.shape
+    from repro.faults import DegradedTopology
+
+    if isinstance(topology, DegradedTopology) and isinstance(
+        topology.base, GridTopology
+    ):
+        return topology.base.shape
+    return None
+
+
+def coarsen_machine(
+    topology: Topology,
+    allowed: np.ndarray | None = None,
+    shape: tuple[int, ...] | None = None,
+    aggregate: str = "representative",
+) -> tuple[GroupedTopology, np.ndarray, np.ndarray | None, tuple[int, ...] | None]:
+    """One machine-coarsening step: pair processors into coarse groups.
+
+    Grid machines (and coarse machines derived from one — pass the virtual
+    ``shape`` returned by the previous step) halve their largest extent, so
+    groups are geometric neighbor pairs and subtori coarsen to subtori.
+    Anything else pairs consecutive node ids. Returns ``(coarse topology,
+    fine→coarse groups, coarse allowed mask or None, coarse virtual shape or
+    None)``; a coarse node is allowed when any member is.
+    """
+    p = topology.num_nodes
+    if p < 2:
+        raise TopologyError("cannot coarsen a single-node machine")
+    if shape is None:
+        shape = _grid_shape_of(topology)
+    new_shape: tuple[int, ...] | None = None
+    if shape is not None:
+        shape = tuple(int(s) for s in shape)
+        volume = 1
+        for s in shape:
+            volume *= s
+        if volume != p:
+            raise TopologyError(
+                f"virtual shape {shape} does not cover {p} processors"
+            )
+        axis = int(np.argmax(shape))
+        coords = np.stack(np.unravel_index(np.arange(p), shape), axis=1)
+        coords[:, axis] //= 2
+        halved = list(shape)
+        halved[axis] = (shape[axis] + 1) // 2
+        groups = np.ravel_multi_index(
+            tuple(coords.T), tuple(halved)
+        ).astype(np.int64)
+        new_shape = tuple(halved)
+    else:
+        groups = np.arange(p, dtype=np.int64) // 2
+
+    coarse_allowed = None
+    reps = None
+    if allowed is not None:
+        k = int(groups.max()) + 1
+        coarse_allowed = np.zeros(k, dtype=bool)
+        coarse_allowed[groups[allowed]] = True
+        # Representative = smallest allowed member where one exists, so
+        # representative distances never come from a dead processor's row.
+        ids = np.arange(p, dtype=np.int64)
+        healthy_min = np.full(k, p, dtype=np.int64)
+        np.minimum.at(healthy_min, groups[allowed], ids[allowed])
+        all_min = np.full(k, p, dtype=np.int64)
+        np.minimum.at(all_min, groups, ids)
+        reps = np.where(healthy_min < p, healthy_min, all_min)
+
+    coarse = GroupedTopology(topology, groups, aggregate=aggregate, reps=reps)
+    return coarse, groups, coarse_allowed, new_shape

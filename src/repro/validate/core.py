@@ -159,7 +159,12 @@ def _check_bounds(s: _Session) -> None:
 
 def _check_injectivity(s: _Session) -> None:
     n, p = s.graph.num_tasks, s.topology.num_nodes
-    capacity = int(s.allowed.sum()) if s.allowed is not None else p
+    # Capacity counts *usable* processors: an explicit mask, else the
+    # auto-derived degraded-machine mask (as in _check_allowed_mask) — 64
+    # tasks on a 64-node machine with 3 dead nodes is necessarily
+    # many-to-one, not an injectivity violation.
+    mask = s.allowed if s.allowed is not None else s.ctx.allowed()
+    capacity = int(mask.sum()) if mask is not None else p
     if n > capacity:
         s.record("injectivity", "skipped",
                  f"{n} tasks on {capacity} processors is necessarily many-to-one")

@@ -32,6 +32,12 @@ ROUND_TRIP_SPECS = [
     "pipeline:inner=topolb",
     "pipeline:partitioner=greedy;inner=random",
     "pipeline:inner=topolb,order=3;refine=on",
+    "multilevel",
+    "multilevel:inner=topolb;levels=auto",
+    "multilevel:inner=topolb,order=3;levels=3;stop=16",
+    "multilevel:inner=topolb,levels=auto",  # comma spillover form
+    "multilevel:inner=topolb,order=3,levels=2,refine_window=1",
+    "multilevel:aggregate=mean;stop=64;kernel=reference",
 ]
 
 

@@ -1,0 +1,113 @@
+"""Dense-table audit: above ``_MATRIX_LIMIT`` processors, no code path may
+materialize a full p x p distance matrix, and byte totals must stay exact
+past int32 range."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mapping import HierarchicalMapper
+from repro.mapping.context import context_for
+from repro.mapping.metrics import _MATRIX_LIMIT, hop_bytes, metrics_block
+from repro.taskgraph import TaskGraph, mesh2d_pattern
+from repro.topology import Torus
+from repro.topology.base import Topology
+
+BIG = (32, 32, 16)  # 16384 processors, 2x the dense-table limit
+
+
+@pytest.fixture
+def forbid_big_matrices(monkeypatch):
+    """Any dense-matrix build on a machine above the limit fails the test."""
+    original = Topology._build_distance_matrix
+
+    def guarded(self, dtype):
+        assert self.num_nodes <= _MATRIX_LIMIT, (
+            f"dense {self.num_nodes}x{self.num_nodes} distance matrix "
+            f"materialized above the limit ({_MATRIX_LIMIT})"
+        )
+        return original(self, dtype)
+
+    monkeypatch.setattr(Topology, "_build_distance_matrix", guarded)
+
+
+def test_metrics_stream_rows_above_limit(forbid_big_matrices):
+    topo = Torus(BIG)
+    graph = mesh2d_pattern(8, 8, message_bytes=64)
+    rng = np.random.default_rng(0)
+    assignment = rng.integers(0, topo.num_nodes, size=64)
+    block = metrics_block(graph, topo, assignment)
+    assert block["hop_bytes"] > 0
+    # The MappingContext gather path streams rows too.
+    ctx = context_for(graph, topo)
+    dist = ctx.edge_distances(assignment)
+    assert np.dot(graph.edge_arrays()[2], dist) == block["hop_bytes"]
+
+
+def test_multilevel_never_materializes_big_tables(forbid_big_matrices):
+    """End-to-end multilevel on a 16384-node torus: coarse machines may use
+    dense tables (they are small), the full machine never."""
+    topo = Torus(BIG)
+    graph = mesh2d_pattern(8, 8, message_bytes=64)
+    mapper = HierarchicalMapper(stop=256, refine_window=0, seed=0)
+    mapping = mapper.map(graph, topo)
+    assert len(np.unique(mapping.assignment)) == 64
+    # Levels above the limit were really traversed.
+    assert any(p > _MATRIX_LIMIT for _, p, _, _ in mapper.last_level_assignments)
+
+
+def test_cli_warmup_gated_above_limit(tmp_path, monkeypatch):
+    """run_mapping warms the estimation tables only on machines whose dense
+    matrix is affordable."""
+    import repro.mapping.estimation as estimation
+    from repro.cli import run_mapping
+    from repro.taskgraph.io import save_taskgraph
+
+    warmed: list[int] = []
+    original = estimation.average_distance_vector
+
+    def recording(topology, subset=None):
+        warmed.append(topology.num_nodes)
+        return original(topology, subset)
+
+    monkeypatch.setattr(estimation, "average_distance_vector", recording)
+
+    graph_path = tmp_path / "graph.json"
+    save_taskgraph(mesh2d_pattern(4, 4, message_bytes=8), graph_path)
+
+    run_mapping(graph_path, False, "torus:4x4", "TopoLB", 0, None)
+    assert 16 in warmed
+
+    warmed.clear()
+    shape = "x".join(str(s) for s in BIG)
+    run_mapping(
+        graph_path, False, f"torus:{shape}",
+        "multilevel:inner=topolb;refine_window=0;stop=256", 0, None,
+    )
+    assert all(p <= _MATRIX_LIMIT for p in warmed)
+
+
+def test_hop_bytes_exact_beyond_int32():
+    """Byte volumes past int32 range accumulate exactly (float64 pipeline,
+    no intermediate int32 product)."""
+    w = float(2**33)
+    graph = TaskGraph(2, [(0, 1, w)])
+    topo = Torus((8, 8))
+    assignment = np.array([0, 3])  # distance 3 on a ring of 8
+    assert hop_bytes(graph, topo, assignment) == 3.0 * w
+
+
+def test_grouped_distance_rows_never_touch_root_matrix(forbid_big_matrices):
+    """Representative aggregation on a big grid answers distance rows from
+    the closed form, not a root-sized table."""
+    from repro.topology import coarsen_machine
+
+    topo = Torus(BIG)
+    level, shape = topo, None
+    for _ in range(3):
+        level, _, _, shape = coarsen_machine(level, shape=shape)
+    assert level.num_nodes == topo.num_nodes // 8
+    row = level.distance_row(0)
+    assert row.shape == (level.num_nodes,)
+    assert row[0] == 0 and row.max() > 0

@@ -1,0 +1,301 @@
+"""Property and unit tests for the multilevel hierarchical mapper.
+
+Covers the coarse-machine model (GroupedTopology / coarsen_machine), the
+HierarchicalMapper's per-level invariants, quality bounds against random and
+direct TopoLB baselines, determinism (including across engine process
+pools), and the spec-grammar entry points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import MappingError, TopologyError
+from repro.faults import DegradedTopology, FaultSet
+from repro.mapping import HierarchicalMapper, RandomMapper, TopoLB
+from repro.taskgraph import mesh2d_pattern, random_taskgraph
+from repro.topology import GroupedTopology, Mesh, Torus, coarsen_machine
+
+
+# --------------------------------------------------------------------------
+# GroupedTopology / coarsen_machine
+# --------------------------------------------------------------------------
+class TestGroupedTopology:
+    def test_representative_distances_are_parent_distances(self):
+        parent = Torus((4, 4))
+        groups = np.arange(16) // 2
+        coarse = GroupedTopology(parent, groups)
+        reps = coarse.representatives
+        want = parent.distance_matrix()[np.ix_(reps, reps)]
+        assert np.array_equal(coarse.distance_matrix(), want)
+        for node in range(coarse.num_nodes):
+            assert np.array_equal(coarse.distance_row(node), want[node])
+
+    def test_mean_distances_satisfy_metric_axioms(self):
+        parent = Torus((4, 4))
+        groups = np.arange(16) // 4
+        coarse = GroupedTopology(parent, groups, aggregate="mean")
+        mat = coarse.distance_matrix(np.float64)
+        assert np.array_equal(mat, mat.T)
+        assert np.all(np.diag(mat) == 0.0)
+        assert np.all(mat[~np.eye(len(mat), dtype=bool)] > 0)
+        k = len(mat)
+        for a in range(k):
+            for b in range(k):
+                for c in range(k):
+                    assert mat[a, c] <= mat[a, b] + mat[b, c] + 1e-12
+
+    def test_mean_distances_survive_int32_first_request(self):
+        """Regression: an int32 matrix request must not poison later float64
+        requests with truncated values (fractional means)."""
+        parent = Mesh((3,))
+        # d(group0, group1) = mean(d(0,2), d(1,2)) = 1.5 — fractional.
+        coarse = GroupedTopology(parent, np.array([0, 0, 1]), aggregate="mean")
+        _ = coarse.distance_matrix(np.int32)  # truncating request first
+        mat = coarse.distance_matrix(np.float64)
+        assert mat[0, 1] == 1.5  # fractional values intact
+
+    def test_route_raises_metric_only(self):
+        coarse = GroupedTopology(Torus((4, 4)), np.arange(16) // 2)
+        with pytest.raises(TopologyError, match="metric-only"):
+            coarse.route(0, 1)
+
+    def test_member_lists_partition_the_parent(self):
+        groups = np.array([0, 1, 0, 2, 1, 2, 0, 1])
+        coarse = GroupedTopology(Torus((8,)), groups)
+        members = coarse.member_lists()
+        seen = np.sort(np.concatenate(members))
+        assert np.array_equal(seen, np.arange(8))
+        for gid, m in enumerate(members):
+            assert np.array_equal(np.sort(m), m)  # ascending
+            assert np.all(groups[m] == gid)
+
+    def test_cache_key_distinguishes_aggregation(self):
+        parent = Torus((4, 4))
+        groups = np.arange(16) // 2
+        rep = GroupedTopology(parent, groups)
+        mean = GroupedTopology(parent, groups, aggregate="mean")
+        assert rep.cache_key() is not None
+        assert rep.cache_key() != mean.cache_key()
+        assert rep.cache_key() == GroupedTopology(parent, groups).cache_key()
+
+    def test_invalid_groups_rejected(self):
+        parent = Torus((4,))
+        with pytest.raises(TopologyError):
+            GroupedTopology(parent, np.array([0, 2, 2, 2]))  # id 1 empty
+        with pytest.raises(TopologyError):
+            GroupedTopology(parent, np.array([0, 0]))  # wrong shape
+        with pytest.raises(TopologyError):
+            GroupedTopology(parent, np.array([0, 0, 1, 1]),
+                            reps=np.array([2, 1]))  # rep 2 not in group 0
+
+
+class TestCoarsenMachine:
+    def test_grid_halves_largest_extent(self):
+        topo = Torus((4, 8))
+        coarse, groups, _, new_shape = coarsen_machine(topo)
+        assert new_shape == (4, 4)
+        assert coarse.num_nodes == 16
+        # Groups pair neighbors along the halved axis: same row, cols 2k/2k+1.
+        coords = np.stack(np.unravel_index(np.arange(32), (4, 8)), axis=1)
+        for g in range(16):
+            a, b = np.flatnonzero(groups == g)
+            assert coords[a][0] == coords[b][0]
+            assert coords[b][1] == coords[a][1] + 1
+
+    def test_virtual_shape_threads_through_levels(self):
+        topo = Torus((4, 4))
+        shape = None
+        level, p = topo, 16
+        while p > 2:
+            level, _, _, shape = coarsen_machine(level, shape=shape)
+            assert level.num_nodes < p
+            p = level.num_nodes
+        assert p == 2
+
+    def test_degraded_mask_propagates_and_reps_stay_healthy(self):
+        base = Torus((4, 4))
+        topo = DegradedTopology(base, FaultSet(dead_nodes=[0, 5]))
+        allowed = topo.allowed_mask()
+        coarse, groups, cmask, _ = coarsen_machine(topo, allowed)
+        for g in range(coarse.num_nodes):
+            members = np.flatnonzero(groups == g)
+            assert cmask[g] == bool(allowed[members].any())
+        reps = coarse.representatives
+        healthy = cmask.nonzero()[0]
+        assert allowed[reps[healthy]].all()
+
+    def test_single_node_machine_refused(self):
+        with pytest.raises(TopologyError):
+            coarsen_machine(Torus((1,)))
+
+
+# --------------------------------------------------------------------------
+# HierarchicalMapper properties
+# --------------------------------------------------------------------------
+def _mean_random_hop_bytes(graph, topo, seeds=(0, 1, 2)):
+    return float(np.mean(
+        [RandomMapper(seed=s).map(graph, topo).hop_bytes for s in seeds]
+    ))
+
+
+class TestHierarchicalProperties:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_never_worse_than_random(self, seed):
+        rng = np.random.default_rng(seed)
+        r, c = int(rng.integers(3, 9)), int(rng.integers(3, 9))
+        graph = mesh2d_pattern(r, c, message_bytes=64)
+        topo = (Torus if seed % 2 else Mesh)((r, c))
+        ml = HierarchicalMapper(stop=max(4, (r * c) // 4), seed=seed).map(graph, topo)
+        assert ml.hop_bytes <= _mean_random_hop_bytes(graph, topo) + 1e-9
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_bounded_factor_vs_direct_topolb(self, seed):
+        rng = np.random.default_rng(seed)
+        r, c = int(rng.integers(3, 9)), int(rng.integers(3, 9))
+        graph = mesh2d_pattern(r, c, message_bytes=64)
+        topo = (Torus if seed % 2 else Mesh)((r, c))
+        ml = HierarchicalMapper(stop=max(4, (r * c) // 4), seed=seed).map(graph, topo)
+        direct = TopoLB().map(graph, topo)
+        assert ml.hop_bytes <= 3.0 * direct.hop_bytes + 1e-9
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_level_invariants_every_uncoarsening_step(self, seed):
+        """At every recorded level: bounds, injectivity (within capacity),
+        and the allowed mask hold."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(12, 80))
+        graph = random_taskgraph(n, edge_prob=0.15, seed=seed)
+        side = int(rng.integers(3, 7))
+        topo = Torus((side, side))
+        mapper = HierarchicalMapper(stop=4, seed=seed)
+        mapper.map(graph, topo)
+        assert mapper.last_level_assignments  # at least the coarsest level
+        for ln, lp, allowed, assign in mapper.last_level_assignments:
+            assert assign.shape == (ln,)
+            assert assign.min() >= 0 and assign.max() < lp
+            capacity = lp if allowed is None else int(allowed.sum())
+            if ln <= capacity:
+                assert len(np.unique(assign)) == ln  # injective
+            if allowed is not None:
+                assert allowed[assign].all()
+
+    def test_masked_run_uses_whole_healthy_machine(self):
+        """64 tasks, 61 healthy processors: the partial final contraction
+        must land on exactly 61 distinct processors, not a full halving."""
+        graph = mesh2d_pattern(8, 8)
+        topo = DegradedTopology(Torus((8, 8)), FaultSet(dead_nodes=[3, 17, 42]))
+        mapping = HierarchicalMapper(stop=16, seed=0).map(graph, topo)
+        allowed = topo.allowed_mask()
+        assert allowed[mapping.assignment].all()
+        assert len(np.unique(mapping.assignment)) == int(allowed.sum())
+
+    def test_many_to_one_groups_cover_machine(self):
+        graph = random_taskgraph(100, edge_prob=0.05, seed=3)
+        topo = Torus((4, 4))
+        mapper = HierarchicalMapper(stop=4, seed=0)
+        mapping = mapper.map(graph, topo)
+        assert len(np.unique(mapping.assignment)) == 16
+        groups = mapper.last_groups
+        assert groups.shape == (100,)
+        group_map = mapper.last_group_mapping
+        assert group_map.is_bijection()
+        # group mapping and expansion agree task by task
+        assert np.array_equal(
+            mapping.assignment, group_map.assignment[groups]
+        )
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(MappingError):
+            HierarchicalMapper(levels=0)
+        with pytest.raises(MappingError):
+            HierarchicalMapper(refine_window=-1)
+        with pytest.raises(MappingError):
+            HierarchicalMapper(stop=0)
+        with pytest.raises(MappingError):
+            HierarchicalMapper(levels="many")
+
+
+class TestDeterminism:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_repeat_runs_bit_identical(self, seed):
+        graph = mesh2d_pattern(6, 6, message_bytes=32)
+        topo = Torus((6, 6))
+        a = HierarchicalMapper(stop=9, seed=seed).map(graph, topo).assignment
+        b = HierarchicalMapper(stop=9, seed=seed).map(graph, topo).assignment
+        assert np.array_equal(a, b)
+
+    def test_kernels_bit_identical(self):
+        graph = mesh2d_pattern(8, 8, message_bytes=128)
+        topo = Torus((8, 8))
+        vec = HierarchicalMapper(stop=16, kernel="vectorized").map(graph, topo)
+        ref = HierarchicalMapper(stop=16, kernel="reference").map(graph, topo)
+        assert np.array_equal(vec.assignment, ref.assignment)
+
+    def test_engine_jobs1_vs_jobs2_identical(self):
+        """The same spec batch maps identically whether run serially or over
+        a process pool (fresh caches per worker)."""
+        from repro.engine import MappingEngine, MappingRequest
+
+        requests = [
+            MappingRequest(
+                graph="mesh2d:8x8;bytes=64",
+                topology="torus:8x8",
+                mapper="multilevel:inner=topolb;stop=16",
+                seed=s,
+                validate="cheap",
+            )
+            for s in (0, 1)
+        ]
+        engine = MappingEngine()
+        serial = engine.run_many(requests, jobs=1)
+        pooled = engine.run_many(requests, jobs=2)
+        for a, b in zip(serial, pooled):
+            assert np.array_equal(a.assignment, b.assignment)
+            assert a.metrics == b.metrics
+
+
+# --------------------------------------------------------------------------
+# Spec grammar
+# --------------------------------------------------------------------------
+class TestMultilevelSpecs:
+    def test_acceptance_spec_parses_with_comma_spillover(self):
+        from repro.engine import canonical_mapper_spec
+
+        assert canonical_mapper_spec("multilevel:inner=topolb,levels=auto") == \
+            canonical_mapper_spec("multilevel:inner=topolb;levels=auto")
+
+    def test_spillover_keeps_inner_options_inner(self):
+        from repro.engine import canonical_mapper_spec
+
+        spec = canonical_mapper_spec(
+            "multilevel:inner=topolb,order=3,levels=2;stop=16"
+        )
+        assert "inner=topolb,order=3" in spec
+        assert "levels=2" in spec and "stop=16" in spec
+
+    def test_multilevel_alias_builds(self):
+        from repro.engine import mapper_from_spec
+
+        mapper = mapper_from_spec("MultilevelLB", seed=0)
+        assert isinstance(mapper, HierarchicalMapper)
+
+    def test_engine_multilevel_validates_full_on_small_machine(self):
+        from repro.engine import MappingEngine, MappingRequest
+
+        result = MappingEngine().run(MappingRequest(
+            graph="mesh2d:8x8;bytes=64",
+            topology="torus:8x8",
+            mapper="multilevel:inner=topolb;stop=16",
+            seed=0,
+            validate="full",
+        ))
+        assert sorted(result.assignment.tolist()) == list(range(64))
+        assert result.metrics["hop_bytes"] > 0

@@ -33,6 +33,31 @@ class TestReadmeQuickstart:
         assert expected_random_hops_per_byte(machine) == pytest.approx(8.0)
 
 
+class TestMultilevelDoc:
+    def test_partial_contraction_lands_on_capacity(self):
+        """docs/ALGORITHMS.md: 64 tasks onto 61 healthy processors merges
+        exactly 3 pairs, not a full halving."""
+        from repro.partition.coarsening import coarsen_toward
+
+        coarse, fine2coarse = coarsen_toward(mesh2d_pattern(8, 8), 61, seed=0)
+        assert coarse.num_tasks == 61
+        assert (fine2coarse.max() + 1) == 61
+
+    def test_bench_artifact_backs_doc_claims(self):
+        """docs/ALGORITHMS.md cites the recorded multilevel bench artifact:
+        >= 10^5 tasks, 4096 processors, >= 2x better than random, < 60 s."""
+        import json
+
+        doc = json.loads(
+            (ROOT / "benchmarks" / "BENCH_multilevel_torus16x16x16.json")
+            .read_text()
+        )
+        assert doc["num_tasks"] >= 100_000
+        assert doc["num_processors"] == 4096
+        assert doc["random_ratio"] >= 2.0
+        assert doc["elapsed_seconds"] < doc["time_budget_seconds"]
+
+
 class TestDocsPresence:
     @pytest.mark.parametrize(
         "path", ["README.md", "DESIGN.md", "EXPERIMENTS.md",
