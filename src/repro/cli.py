@@ -50,7 +50,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="RNG seed")
     # Literal choices so building the parser stays import-light; validated
     # again by set_default_kernel against repro.mapping.kernels.KERNELS.
-    parser.add_argument("--kernel", choices=("vectorized", "reference"),
+    parser.add_argument("--kernel",
+                        choices=("vectorized", "reference", "incremental"),
                         default=None,
                         help="mapper kernel for this run (default: the "
                              "process-wide default, i.e. vectorized)")
@@ -61,6 +62,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--simulate-iters", type=int, default=None,
                         help="replay N Jacobi-style iterations through the network "
                              "simulator (default: 1 when --profile is set, else 0)")
+    parser.add_argument("--netsim-mode", choices=("des", "flow"),
+                        default="des",
+                        help="network evaluation for --simulate-iters: 'des' "
+                             "replays through the per-packet simulator, "
+                             "'flow' uses the static flow-level contention "
+                             "estimator (fast; lower-bound makespan — see "
+                             "docs/ARCHITECTURE.md for the validity envelope)")
     parser.add_argument("--stats", type=Path, metavar="PROFILE",
                         help="summarize an existing profile JSON and exit")
     parser.add_argument("--list-strategies", action="store_true",
@@ -107,6 +115,7 @@ def main(argv: list[str] | None = None) -> int:
             args.taskgraph, args.lb_dump, args.topology, args.strategy,
             args.seed, args.output, profile=args.profile,
             simulate_iters=args.simulate_iters, kernel=args.kernel,
+            netsim_mode=args.netsim_mode,
         )
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -123,7 +132,8 @@ def run_mapping(graph_path: Path, is_lb_dump: bool, topology_spec: str,
                 strategy: str, seed: int, output: Path | None,
                 profile: Path | None = None,
                 simulate_iters: int | None = None,
-                kernel: str | None = None) -> dict:
+                kernel: str | None = None,
+                netsim_mode: str = "des") -> dict:
     """Load inputs, run the strategy, optionally replay/profile/write."""
     from repro import obs
     from repro.engine import canonical_command, canonical_mapper_spec
@@ -165,7 +175,9 @@ def run_mapping(graph_path: Path, is_lb_dump: bool, topology_spec: str,
 
         netsim_summary = None
         if simulate_iters > 0:
-            netsim_summary = _replay_network(mapping, report, simulate_iters)
+            netsim_summary = _replay_network(
+                mapping, report, simulate_iters, mode=netsim_mode
+            )
 
         if output is not None:
             output.write_text(json.dumps({
@@ -206,10 +218,29 @@ def run_mapping(graph_path: Path, is_lb_dump: bool, topology_spec: str,
     return report
 
 
-def _replay_network(mapping, report: dict, iterations: int) -> dict:
-    """Replay the mapped app through the DES; extend ``report``, return the
-    per-link load summary for the profile's ``netsim`` section."""
+def _replay_network(mapping, report: dict, iterations: int,
+                    mode: str = "des") -> dict:
+    """Evaluate the mapped app's network behaviour; extend ``report`` and
+    return the per-link load summary for the profile's ``netsim`` section.
+
+    ``mode="des"`` replays through the per-packet simulator; ``mode="flow"``
+    runs the static flow-level estimator instead — same traffic, no event
+    queue, makespan reported as a lower bound (``sim_time_us`` is then that
+    bound, not a measured completion time).
+    """
     from repro import obs
+
+    if mode == "flow":
+        from repro.netsim.flow import flow_evaluate, flow_summary
+
+        with obs.timer("cli.simulate"):
+            flow = flow_evaluate(mapping, iterations=iterations)
+        report["sim_iterations"] = iterations
+        report["sim_mode"] = "flow"
+        report["sim_time_us"] = flow.makespan_lower_bound
+        report["sim_max_link_bytes"] = flow.max_link_bytes
+        return flow_summary(flow)
+
     from repro.netsim.appsim import IterativeApplication
     from repro.netsim.simulator import NetworkSimulator
     from repro.netsim.stats import link_summary
@@ -219,6 +250,7 @@ def _replay_network(mapping, report: dict, iterations: int) -> dict:
         app = IterativeApplication(mapping, sim, iterations=iterations)
         result = app.run()
     report["sim_iterations"] = iterations
+    report["sim_mode"] = "des"
     report["sim_time_us"] = result.total_time
     report["sim_mean_latency_us"] = result.mean_message_latency
     report["sim_messages"] = result.messages_delivered

@@ -166,6 +166,11 @@ class MappingRequest:
     kernel: str | None = None
     allowed: np.ndarray | None = None
     profile: bool = False
+    #: Also evaluate the flow-level contention estimator
+    #: (:func:`repro.netsim.flow.flow_evaluate`) on the produced mapping and
+    #: merge its scalars into ``metrics`` under ``flow_*`` keys. Cheap even
+    #: on machines where the DES is infeasible.
+    flow_metrics: bool = False
     #: Validation tier enforced on the produced mapping: "off" (default),
     #: "cheap" (structural invariants + metrics consistency) or "full"
     #: (+ differential kernel/spec oracles and metamorphic properties).
@@ -265,6 +270,18 @@ class MappingEngine:
             if group_mapping is not None:
                 metrics["group_hops_per_byte"] = group_mapping.hops_per_byte
                 metrics["group_hop_bytes"] = group_mapping.hop_bytes
+
+            if request.flow_metrics:
+                from repro.netsim.flow import flow_evaluate
+
+                with obs.timer("engine.flow"):
+                    flow = flow_evaluate(mapping)
+                metrics["flow_max_link_bytes"] = flow.max_link_bytes
+                metrics["flow_total_bytes"] = flow.total_bytes
+                metrics["flow_links_used"] = float(flow.links_used)
+                metrics["flow_makespan_lower_bound_us"] = (
+                    flow.makespan_lower_bound
+                )
 
             if request.validate != "off":
                 from repro.validate import validate_mapping

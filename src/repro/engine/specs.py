@@ -170,7 +170,7 @@ def _nested_opt(name: str, doc: str, default: str) -> OptionSpec:
 
 _KERNEL_OPT = _choice(
     "kernel", "cycle-body implementation (bit-identical outputs)",
-    "process default", "vectorized", "reference",
+    "process default", "vectorized", "reference", "incremental",
 )
 
 

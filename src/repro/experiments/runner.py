@@ -26,6 +26,13 @@ experiments that did not complete in it. Failures are recorded per
 experiment (status, error, traceback, attempts) in the profile's
 ``context.experiment_status``, and the exit code is nonzero whenever any
 experiment did not finish.
+
+``--netsim-mode flow`` swaps the per-packet network simulator for the
+static flow-level contention estimator (:mod:`repro.netsim.flow`) in every
+simulator-backed experiment — orders of magnitude faster, but makespans
+become lower bounds and per-message latencies lose queueing delay. The
+``flowcheck`` supplementary experiment quantifies that trade on the
+small-machine suite.
 """
 
 from __future__ import annotations
@@ -53,7 +60,7 @@ from repro.experiments import (
     supplementary,
     table1,
 )
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import NETSIM_MODE_ENV, ExperimentResult
 
 __all__ = ["main", "EXPERIMENTS", "PAPER_EXPERIMENTS", "ExperimentOutcome"]
 
@@ -76,6 +83,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "bounds": supplementary.run_bounds,
     "objectives": supplementary.run_objectives,
     "scaling": supplementary.run_scaling,
+    "flowcheck": supplementary.run_flowcheck,
 }
 
 #: Environment hook for fault-injection testing (CI exercises it): a
@@ -263,6 +271,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--resume", type=Path, metavar="PROFILE",
                         help="skip experiments recorded as completed in a "
                              "previous --profile artifact")
+    parser.add_argument("--netsim-mode", choices=("des", "flow"), default=None,
+                        help="network evaluation for simulator-backed "
+                             "experiments: 'des' replays per-packet, 'flow' "
+                             "uses the static flow-level estimator (fast; "
+                             "makespans are lower bounds — see "
+                             "docs/ARCHITECTURE.md). Default: "
+                             f"${NETSIM_MODE_ENV} or 'des'.")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -272,6 +287,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--timeout must be positive")
     if args.retry_delay <= 0:
         parser.error("--retry-delay must be positive")
+    if args.netsim_mode is not None:
+        # Experiments read the mode from the environment (netsim_mode()), so
+        # worker processes spawned by --jobs inherit it automatically.
+        os.environ[NETSIM_MODE_ENV] = args.netsim_mode
 
     from repro import obs
 

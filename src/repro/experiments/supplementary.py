@@ -21,7 +21,13 @@ from repro.taskgraph.coalesce import coalesce
 from repro.partition.multilevel import MultilevelPartitioner
 from repro.topology import FatTree, Hypercube, Mesh, Torus
 
-__all__ = ["run_zoo", "run_bounds", "run_objectives", "run_scaling"]
+__all__ = [
+    "run_zoo",
+    "run_bounds",
+    "run_objectives",
+    "run_scaling",
+    "run_flowcheck",
+]
 
 
 def _mappers(seed: int, quick: bool):
@@ -175,4 +181,81 @@ def run_bounds(quick: bool = True, seed: int = 0) -> ExperimentResult:
         rows,
         notes="gap 1.0 = provably optimal; the stencil-on-torus instances "
         "certify TopoLB exactly optimal, not merely better than baselines",
+    )
+
+
+def run_flowcheck(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    """Flow-estimator fidelity vs the DES on the small-machine suite.
+
+    For each instance, a pool of mappings (the mapper family plus random
+    permutations) is evaluated by both the per-packet DES and the flow
+    estimator; the row reports the Spearman rank correlation of the two
+    makespans, the worst bound/DES ratio (must stay <= 1: the flow makespan
+    is a provable lower bound), and the speedup. This is the validity
+    evidence behind ``--netsim-mode flow``.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.mapping.base import Mapping as TaskMapping
+    from repro.netsim.appsim import IterativeApplication
+    from repro.netsim.flow import flow_evaluate, spearman
+    from repro.netsim.simulator import NetworkSimulator
+    from repro.taskgraph.patterns import mesh3d_pattern
+
+    iterations = 4 if quick else 16
+    randoms = 5 if quick else 12
+    instances = [
+        ("jacobi 6x6 / torus 6x6",
+         mesh2d_pattern(6, 6, message_bytes=512.0), Torus((6, 6))),
+        ("jacobi 8x8 / torus 4x4x4",
+         mesh2d_pattern(8, 8, message_bytes=512.0), Torus((4, 4, 4))),
+        ("stencil 4^3 / mesh 4x4x4",
+         mesh3d_pattern(4, 4, 4, message_bytes=512.0), Mesh((4, 4, 4))),
+        ("random p=64 / torus 8x8",
+         random_taskgraph(64, edge_prob=0.1, seed=seed), Torus((8, 8))),
+    ]
+    rows = []
+    for name, graph, topo in instances:
+        rng = np.random.default_rng(seed + 17)
+        mappings = [
+            mapper_from_spec("topolb", seed).map(graph, topo),
+            mapper_from_spec("refine:base=topolb,kernel=incremental",
+                             seed).map(graph, topo),
+            mapper_from_spec("topocentlb", seed).map(graph, topo),
+        ]
+        mappings += [
+            TaskMapping(graph, topo,
+                        rng.permutation(topo.num_nodes)[:graph.num_tasks])
+            for _ in range(randoms)
+        ]
+        des_times, flow_times = [], []
+        des_wall = flow_wall = 0.0
+        for mapping in mappings:
+            t0 = time.perf_counter()
+            sim = NetworkSimulator(topo)
+            res = IterativeApplication(
+                mapping, sim, iterations=iterations
+            ).run()
+            des_wall += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            flow = flow_evaluate(mapping, iterations=iterations)
+            flow_wall += time.perf_counter() - t0
+            des_times.append(res.total_time)
+            flow_times.append(flow.makespan_lower_bound)
+        ratios = np.asarray(flow_times) / np.asarray(des_times)
+        rows.append({
+            "instance": name,
+            "mappings": len(mappings),
+            "rank_corr": spearman(flow_times, des_times),
+            "max_bound_ratio": float(ratios.max()),
+            "speedup": des_wall / flow_wall if flow_wall else float("inf"),
+        })
+    return ExperimentResult(
+        "flowcheck",
+        "flow-level estimator vs DES (rank correlation, bound tightness)",
+        rows,
+        notes="rank_corr >= 0.9 and max_bound_ratio <= 1.0 are the validity "
+        "envelope of --netsim-mode flow; see docs/ARCHITECTURE.md",
     )

@@ -17,6 +17,18 @@ their inner loops:
     pseudocode; the equivalence suite and the ``BENCH_kernels_*.json``
     before/after profiles are both recorded against this path.
 
+``"incremental"``
+    The sweep-to-sweep delta structure in
+    :class:`~repro.mapping.refine.RefineTopoLB`: per-task best-swap caches
+    plus a dirty set keyed by the tasks an accepted swap touched, so each
+    sweep after the first costs O(changed) instead of O(n^2). Also pinned
+    bit-identical to ``"reference"`` by the equivalence suite. Mappers
+    without an incremental formulation (TopoLB's cost-table construction
+    has no sweep-to-sweep state to reuse) treat ``"incremental"`` as
+    ``"vectorized"``, so the name is valid process-wide — e.g. for
+    ``multilevel`` specs, where only the per-level refine has a delta
+    structure to exploit.
+
 Mappers take ``kernel=None`` to mean "use the process-wide default", which
 :func:`set_default_kernel` flips (the CLI exposes it as ``--kernel``). See
 ``docs/PERFORMANCE.md`` for the kernel design notes.
@@ -35,7 +47,7 @@ __all__ = [
 ]
 
 #: Every kernel name any mapper understands.
-KERNELS = ("vectorized", "reference")
+KERNELS = ("vectorized", "reference", "incremental")
 
 DEFAULT_KERNEL = "vectorized"
 

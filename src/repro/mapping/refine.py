@@ -18,7 +18,7 @@ sweep evaluates, for each task ``a``, the delta against *every* other task
 and greedily applies the best strictly-negative swap; sweeps repeat until a
 full pass makes no swap or ``max_sweeps`` is hit.
 
-Two kernels implement the sweep (see :mod:`repro.mapping.kernels`). The
+Three kernels implement the sweep (see :mod:`repro.mapping.kernels`). The
 ``"reference"`` kernel evaluates one task row at a time, exactly as above.
 The ``"vectorized"`` kernel (default) is the *block sweep*: it evaluates the
 delta rows for a whole block of ``block_size`` tasks as one ``(B, n)``
@@ -29,6 +29,23 @@ a fresh (small, re-doubling) window restarts just past the swap, so the
 block sweep visits the same tasks in the same order with the same deltas as
 the reference kernel — bit-identical refined mappings (converged sweeps,
 where no swap fires, collapse to ~``log(n / B)`` matrix operations total).
+
+The ``"incremental"`` kernel replaces *discard* with *repair*: it caches
+each task's best swap partner ``(argmin, min)`` and, after an accepted swap
+of ``(a, b)``, only touches what actually changed. The dirty set is
+``{a, b} ∪ N(a) ∪ N(b)`` — exactly the tasks whose ``assign``/``cost``-row
+entries :meth:`RefineTopoLB._apply_swap` mutated — so a cached row outside
+the dirty set changed *only at the dirty columns*. Those entries are
+recomputed as one ``(rows, |dirty|)`` matrix in the reference term order
+(bitwise equal to a fresh evaluation) and folded into the cache under
+argmin's lowest-index tie-breaking; rows inside the dirty set, and rows
+whose cached argmin fell in it (their proof of minimality is gone), are
+recomputed in full on their next visit. Sweeps after the first therefore
+cost O(changed): a converged sweep is n cache reads, and each accepted swap
+repairs O(n · (deg a + deg b)) entries instead of discarding an O(n²)
+precomputation. On dense graphs (degree ~ n, e.g. all-to-all) the dirty set
+covers every column and the repair degenerates to vectorized-kernel cost —
+the win is for the sparse stencils the paper maps.
 """
 
 from __future__ import annotations
@@ -37,6 +54,7 @@ import numpy as np
 
 from repro import obs
 from repro.exceptions import MappingError
+from repro.mapping import _native
 from repro.mapping.base import Mapper, Mapping, resolve_allowed
 from repro.mapping.context import MappingContext, context_for
 from repro.mapping.kernels import resolve_kernel
@@ -63,7 +81,8 @@ class RefineTopoLB(Mapper):
         local minimum every sweep); the seed makes runs reproducible.
     kernel:
         ``"vectorized"`` (block sweep, the default), ``"reference"``
-        (row-at-a-time), or ``None`` for the process-wide default.
+        (row-at-a-time), ``"incremental"`` (cached best-swap rows with
+        dirty-set repair), or ``None`` for the process-wide default.
     block_size:
         Tasks per ``(B, n)`` delta block in the vectorized kernel. Larger
         blocks amortize better on converged sweeps but waste more
@@ -87,7 +106,7 @@ class RefineTopoLB(Mapper):
 
     @property
     def kernel(self) -> str:
-        """The resolved kernel name ("vectorized" or "reference")."""
+        """The resolved kernel name ("vectorized", "reference" or "incremental")."""
         return self._kernel
 
     def map(
@@ -122,11 +141,10 @@ class RefineTopoLB(Mapper):
         shared per-(graph, topology) tables.
         """
         allowed = resolve_allowed(mapping.topology, allowed)
-        run = (
-            self._refine_reference
-            if self._kernel == "reference"
-            else self._refine_vectorized
-        )
+        run = {
+            "reference": self._refine_reference,
+            "incremental": self._refine_incremental,
+        }.get(self._kernel, self._refine_vectorized)
         prof = obs.active()
         if prof is None:
             return run(mapping, allowed=allowed, ctx=ctx)
@@ -167,6 +185,33 @@ class RefineTopoLB(Mapper):
         cost = np.asarray(csr @ dist[assign])  # (n, p)
         return n, rng, dist, indptr, indices, weights, assign, cost
 
+    @staticmethod
+    def _record_sweep(prof: obs.Profiler, n: int, sweep: int,
+                      visits: int, accepted: int) -> None:
+        """Per-sweep accounting event. Every kernel visits the same tasks and
+        accepts the same swaps (bit-identity), so the event stream is
+        kernel-independent: each visit weighs a task against its ``n - 1``
+        candidate partners regardless of how much arithmetic the kernel
+        actually spent producing the row."""
+        prof.event(
+            "refine.sweep",
+            sweep=sweep,
+            accepted=accepted,
+            evaluated_pairs=visits * (n - 1),
+        )
+
+    @staticmethod
+    def _record_totals(prof: obs.Profiler | None, n: int, sweeps: int,
+                       evaluations: int, accepted: int) -> None:
+        """Whole-refine counter totals, consistent with the per-sweep events
+        (``refine.pairs_evaluated`` == sum of the events' ``evaluated_pairs``)."""
+        if prof is None:
+            return
+        prof.count("refine.sweeps", sweeps)
+        prof.count("refine.swaps_accepted", accepted)
+        prof.count("refine.swaps_rejected", evaluations - accepted)
+        prof.count("refine.pairs_evaluated", evaluations * (n - 1))
+
     def _refine_reference(
         self, mapping: Mapping, prof: obs.Profiler | None = None,
         allowed: np.ndarray | None = None,
@@ -186,6 +231,7 @@ class RefineTopoLB(Mapper):
         sweeps = evaluations = accepted = 0
         for _sweep in range(self._max_sweeps):
             swapped = False
+            sweep_visits = sweep_accepted = 0
             if prof is not None:
                 sweeps += 1
             for a in rng.permutation(n):
@@ -206,18 +252,19 @@ class RefineTopoLB(Mapper):
                 improved = delta[b] < -1e-9
                 if prof is not None:
                     evaluations += 1
+                    sweep_visits += 1
                     if improved:
                         accepted += 1
+                        sweep_accepted += 1
                 if improved:
                     self._apply_swap(a, b, assign, cost, dist, indptr, indices, weights)
                     swapped = True
+            if prof is not None:
+                self._record_sweep(prof, n, sweeps, sweep_visits, sweep_accepted)
             if not swapped:
                 break
 
-        if prof is not None:
-            prof.count("refine.sweeps", sweeps)
-            prof.count("refine.swaps_accepted", accepted)
-            prof.count("refine.swaps_rejected", evaluations - accepted)
+        self._record_totals(prof, n, sweeps, evaluations, accepted)
         return mapping.with_assignment(assign)
 
     def _refine_vectorized(
@@ -285,6 +332,7 @@ class RefineTopoLB(Mapper):
 
         for _sweep in range(self._max_sweeps):
             swapped = False
+            sweep_visits = sweep_accepted = 0
             if prof is not None:
                 sweeps += 1
             perm = rng.permutation(n)
@@ -308,8 +356,10 @@ class RefineTopoLB(Mapper):
                     improved = bvals[i] < -1e-9
                     if prof is not None:
                         evaluations += 1
+                        sweep_visits += 1
                         if improved:
                             accepted += 1
+                            sweep_accepted += 1
                     if improved:
                         a, b = int(a), int(bmins[i])
                         self._apply_swap(
@@ -331,14 +381,350 @@ class RefineTopoLB(Mapper):
                         break
                 pos += consumed
                 window = floor if hit else min(window * 2, n)
+            if prof is not None:
+                self._record_sweep(prof, n, sweeps, sweep_visits, sweep_accepted)
             if not swapped:
                 break
 
+        self._record_totals(prof, n, sweeps, evaluations, accepted)
         if prof is not None:
-            prof.count("refine.sweeps", sweeps)
-            prof.count("refine.swaps_accepted", accepted)
-            prof.count("refine.swaps_rejected", evaluations - accepted)
             prof.count("refine.blocks_precomputed", blocks_precomputed)
+        return mapping.with_assignment(assign)
+
+    def _refine_incremental(
+        self, mapping: Mapping, prof: obs.Profiler | None = None,
+        allowed: np.ndarray | None = None,
+        ctx: MappingContext | None = None,
+    ) -> Mapping:
+        """Incremental kernel dispatch: run the compiled sweep when a C
+        toolchain is available (see :mod:`repro.mapping._native`), otherwise
+        the pure-NumPy delta structure below. Both paths are bit-identical
+        to the reference kernel; the compiled one exists because the
+        per-swap bookkeeping is scalar work that NumPy call overhead
+        dominates at paper scales (n ~ 512)."""
+        native = _native.load()
+        if native is not None:
+            return self._refine_incremental_native(
+                native, mapping, prof, allowed=allowed, ctx=ctx
+            )
+        return self._refine_incremental_numpy(
+            mapping, prof, allowed=allowed, ctx=ctx
+        )
+
+    def _refine_incremental_native(
+        self, native: "_native.NativeRefine", mapping: Mapping,
+        prof: obs.Profiler | None = None,
+        allowed: np.ndarray | None = None,
+        ctx: MappingContext | None = None,
+    ) -> Mapping:
+        """Compiled incremental sweep. One C call runs one full sweep; the
+        best-swap caches persist across calls and the C side repairs them
+        eagerly after each accepted swap (same dirty-set argument as the
+        NumPy path, same reference term order — see refine_kernel.c). The
+        sweep loop, RNG permutation draws, and obs accounting stay in
+        Python so all three kernels share their observable structure."""
+        n, rng, dist, indptr, indices, weights, assign, cost = self._setup(
+            mapping, allowed, ctx
+        )
+        cost = np.ascontiguousarray(cost, dtype=np.float64)
+        dist = np.ascontiguousarray(dist, dtype=np.float64)
+        c_assign = np.ascontiguousarray(assign, dtype=np.int64)
+        c_indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        c_indices = np.ascontiguousarray(indices, dtype=np.int64)
+        c_weights = np.ascontiguousarray(weights, dtype=np.float64)
+
+        best_b = np.zeros(n, dtype=np.int64)
+        best_val = np.zeros(n, dtype=np.float64)
+        valid = np.zeros(n, dtype=np.uint8)
+        stats = np.zeros(4, dtype=np.int64)  # visits, accepted, computed, folded
+
+        sweeps = 0
+        seen_visits = seen_accepted = 0
+        for _sweep in range(self._max_sweeps):
+            perm = np.ascontiguousarray(rng.permutation(n), dtype=np.int64)
+            swapped = native.sweep(
+                cost, dist, c_assign, c_indptr, c_indices, c_weights,
+                perm, best_b, best_val, valid, stats,
+            )
+            sweeps += 1
+            if prof is not None:
+                visits, accepted = int(stats[0]), int(stats[1])
+                self._record_sweep(
+                    prof, n, sweeps,
+                    visits - seen_visits, accepted - seen_accepted,
+                )
+                seen_visits, seen_accepted = visits, accepted
+            if not swapped:
+                break
+
+        self._record_totals(prof, n, sweeps, int(stats[0]), int(stats[1]))
+        if prof is not None:
+            prof.count("refine.rows_computed", int(stats[2]))
+            prof.count("refine.rows_folded", int(stats[3]))
+        return mapping.with_assignment(c_assign.astype(assign.dtype, copy=False))
+
+    def _refine_incremental_numpy(
+        self, mapping: Mapping, prof: obs.Profiler | None = None,
+        allowed: np.ndarray | None = None,
+        ctx: MappingContext | None = None,
+    ) -> Mapping:
+        """Delta-structure sweep: cache every task's best swap partner and
+        lazily *fold* the columns moved by accepted swaps back into the
+        caches right before the sweep reads them (see module docstring for
+        the dirty-set argument). A swap itself only appends its dirty
+        columns to a pending list, so accepting a swap costs O(degree).
+
+        Invariant maintained throughout: whenever the sweep reads a cache
+        row it is the bitwise ``(argmin, min)`` of a fresh reference delta
+        row — the fold recomputes exactly the changed columns with the same
+        elementwise term order and merges them under argmin's lowest-index
+        tie-breaking, so the sweep makes the same swap decisions (hence
+        bit-identical refined mappings, pinned by the equivalence suite).
+        """
+        n, rng, dist, indptr, indices, weights, assign, cost = self._setup(
+            mapping, allowed, ctx
+        )
+
+        ids = np.arange(n)
+        bsize = min(self._block_size, n)
+        # Incrementally maintained diagonal, exactly as in the vectorized
+        # kernel (element copies only, never arithmetic).
+        diag = cost[ids, assign]
+
+        # The cache: per task, the index and value of its best swap partner
+        # plus a validity bit. Invalid rows are recomputed (in blocks) when
+        # the sweep reaches them.
+        best_b = np.zeros(n, dtype=np.int64)
+        best_val = np.zeros(n, dtype=np.float64)
+        valid = np.zeros(n, dtype=bool)
+
+        # Deferred-repair state. Columns whose delta entries moved since a
+        # row was last brought current sit in ``pend[:plen]`` (append-only,
+        # duplicates allowed); ``folded[r]`` is the pend length row ``r``
+        # has already absorbed. A swap with a dirty set >= dense_cutoff
+        # drops every cache instead (folding would cost a full recompute —
+        # the dense-graph regime, where this kernel degenerates to the
+        # vectorized one); once plen reaches fold_cap the pending list is
+        # folded into every valid row at once and reset, bounding fold
+        # width.
+        dense_cutoff = max(8, n // 8)
+        fold_cap = max(16, n // 8)
+        pend = np.empty(fold_cap + 2 * dense_cutoff + 4, dtype=np.int64)
+        plen = 0
+        folded = np.zeros(n, dtype=np.int64)
+        # Scratch row-position map reused across folds (reset after use).
+        pos_of = np.full(n, -1, dtype=np.int64)
+
+        sweeps = evaluations = accepted = 0
+        blocks_precomputed = rows_computed = rows_folded = 0
+
+        def compute_rows(block: np.ndarray) -> None:
+            """Fill the cache for ``block`` from scratch — the same (B, n)
+            expression as the vectorized kernel's ``block_deltas`` (identical
+            elementwise term order, hence bitwise-identical rows)."""
+            pa_blk = assign[block]
+            deltas = cost[block[:, None], assign[None, :]]  # C[a, pb]
+            deltas += cost[:, pa_blk].T                     # C[b, pa]
+            deltas -= diag[block][:, None]                  # C[a, pa]
+            deltas -= diag[None, :]                         # C[b, pb]
+            rows = np.arange(len(block))
+            los, his = indptr[block], indptr[block + 1]
+            degs = his - los
+            total = int(degs.sum())
+            if total:
+                offsets = np.repeat(his - np.cumsum(degs), degs)
+                flat = offsets + np.arange(total)
+                nbrs = indices[flat]
+                rows_rep = np.repeat(rows, degs)
+                deltas[rows_rep, nbrs] += (
+                    2.0 * weights[flat] * dist[assign[block[rows_rep]], assign[nbrs]]
+                )
+            deltas[rows, block] = 0.0
+            bmins = deltas.argmin(axis=1)
+            best_b[block] = bmins
+            best_val[block] = deltas[rows, bmins]
+            valid[block] = True
+            folded[block] = plen
+
+        def fold_rows(rows: np.ndarray) -> np.ndarray:
+            """Fold the pending (moved) columns into still-valid cache rows;
+            returns the rows that need a full recompute instead — their
+            cached argmin is itself among the moved columns, so the proof
+            of minimality over the unchanged columns is gone.
+
+            Rows are grouped by how much of the pending list they have
+            already absorbed; each group recomputes only its unabsorbed
+            columns, in the same term order as a full row, so the merged
+            values are bitwise identical. The cached argmin of a kept row is
+            outside its fold columns, hence still the exact lowest-index
+            minimum over the unchanged columns; a candidate wins on a
+            strictly smaller value, or an equal value at a smaller index
+            (np.argmin's tie-breaking). np.unique sorts the fold columns, so
+            the within-fold argmin is lowest-task-index as well.
+            """
+            nonlocal rows_folded
+            refetch = []
+            fu = folded[rows]
+            for u in np.unique(fu):
+                group = rows[fu == u]
+                cols = np.unique(pend[u:plen])
+                hit = np.isin(best_b[group], cols)
+                if hit.any():
+                    refetch.append(group[hit])
+                    group = group[~hit]
+                    if not len(group):
+                        continue
+                sub = cost[np.ix_(group, assign[cols])]     # C[a, pb]
+                sub += cost[np.ix_(cols, assign[group])].T  # C[b, pa]
+                sub -= diag[group][:, None]                 # C[a, pa]
+                sub -= diag[cols][None, :]                  # C[b, pb]
+                # Neighbor-edge corrections for all fold columns at once:
+                # the (row, column) pairs are unique (a neighbor appears
+                # once per CSR row), so the fancy-indexed += is exact. Edge
+                # weights are symmetric in the CSR (undirected graph), so
+                # reading w(t, d) from d's row matches the reference row's
+                # own slice bit-for-bit.
+                pos_of[group] = np.arange(len(group))
+                los, his = indptr[cols], indptr[cols + 1]
+                degs = his - los
+                total = int(degs.sum())
+                if total:
+                    offsets = np.repeat(his - np.cumsum(degs), degs)
+                    flat = offsets + np.arange(total)
+                    nbrs = indices[flat]
+                    ccol = np.repeat(np.arange(len(cols)), degs)
+                    rpos = pos_of[nbrs]
+                    sel = rpos >= 0
+                    if sel.any():
+                        sub[rpos[sel], ccol[sel]] += (
+                            2.0 * weights[flat[sel]]
+                            * dist[assign[nbrs[sel]], assign[cols[ccol[sel]]]]
+                        )
+                pos_of[group] = -1
+                jmin = sub.argmin(axis=1)
+                cand_val = sub[np.arange(len(group)), jmin]
+                cand_b = cols[jmin]
+                take = (cand_val < best_val[group]) | (
+                    (cand_val == best_val[group]) & (cand_b < best_b[group])
+                )
+                upd = group[take]
+                best_b[upd] = cand_b[take]
+                best_val[upd] = cand_val[take]
+                folded[group] = plen
+                rows_folded += len(group)
+            if refetch:
+                return np.concatenate(refetch)
+            return rows[:0]
+
+        floor = min(bsize, 4)
+        for _sweep in range(self._max_sweeps):
+            swapped = False
+            sweep_visits = sweep_accepted = 0
+            if prof is not None:
+                sweeps += 1
+            perm = rng.permutation(n)
+            pos = 0
+            chunk = bsize
+            while pos < n:
+                rest = perm[pos:]
+                # Trust scan: a visit with a current, non-improving cached
+                # row is a no-op, so the whole remaining permutation is
+                # scanned in a few vectorized comparisons and only the first
+                # row that is either untrusted (invalid / behind on pending
+                # folds) or a trusted improvement gets Python-level handling.
+                # A fully converged sweep collapses to ONE such scan — the
+                # structural win over the block sweep, which must still
+                # *compute* every row each sweep.
+                cand = ~valid[rest]
+                if plen:
+                    cand |= folded[rest] < plen
+                unready = cand.copy()
+                cand |= best_val[rest] < -1e-9
+                i = int(cand.argmax())
+                if not cand[i]:
+                    # Everything left is current and non-improving.
+                    if prof is not None:
+                        evaluations += len(rest)
+                        sweep_visits += len(rest)
+                    break
+                if unready[i]:
+                    # Rows before i are visited (current, non-improving);
+                    # bring a chunk starting at i current, then rescan. The
+                    # chunk doubles while no swap interrupts, so the fold
+                    # work between swaps stays proportional to the gap.
+                    if prof is not None:
+                        evaluations += i
+                        sweep_visits += i
+                    pos += i
+                    block = rest[i:i + chunk]
+                    bmask = valid[block]
+                    need = block[~bmask]
+                    if plen:
+                        behind = block[bmask]
+                        behind = behind[folded[behind] < plen]
+                        if len(behind):
+                            refetch = fold_rows(behind)
+                            if len(refetch):
+                                need = np.concatenate((need, refetch))
+                    if len(need):
+                        compute_rows(need)
+                        blocks_precomputed += 1
+                        rows_computed += len(need)
+                    chunk = min(chunk * 2, n)
+                    continue
+                if prof is not None:
+                    evaluations += i + 1
+                    sweep_visits += i + 1
+                    accepted += 1
+                    sweep_accepted += 1
+                a = int(rest[i])
+                b = int(best_b[a])
+                self._apply_swap(
+                    a, b, assign, cost, dist, indptr, indices, weights,
+                )
+                # Columns whose delta entries moved: a, b and their
+                # neighbors — exactly the tasks whose assign/cost-row state
+                # _apply_swap mutated. Everything else is untouched.
+                upd = np.concatenate((
+                    (a, b),
+                    indices[indptr[a]:indptr[a + 1]],
+                    indices[indptr[b]:indptr[b + 1]],
+                ))
+                diag[upd] = cost[upd, assign[upd]]
+                if len(upd) >= dense_cutoff:
+                    # Dense dirty set: drop every cache, as the vectorized
+                    # kernel does after a swap, to bound the wasted block
+                    # work.
+                    valid[:] = False
+                    plen = 0
+                    folded[:] = 0
+                else:
+                    valid[upd] = False
+                    pend[plen:plen + len(upd)] = upd
+                    plen += len(upd)
+                    if plen >= fold_cap:
+                        # Compact: bring every valid row current in one
+                        # batched fold, then reset the pending list.
+                        rows = np.flatnonzero(valid)
+                        rows = rows[folded[rows] < plen]
+                        if len(rows):
+                            refetch = fold_rows(rows)
+                            valid[refetch] = False
+                        plen = 0
+                        folded[:] = 0
+                swapped = True
+                chunk = floor
+                pos += i + 1
+            if prof is not None:
+                self._record_sweep(prof, n, sweeps, sweep_visits, sweep_accepted)
+            if not swapped:
+                break
+
+        self._record_totals(prof, n, sweeps, evaluations, accepted)
+        if prof is not None:
+            prof.count("refine.blocks_precomputed", blocks_precomputed)
+            prof.count("refine.rows_computed", rows_computed)
+            prof.count("refine.rows_folded", rows_folded)
         return mapping.with_assignment(assign)
 
     @staticmethod

@@ -1,0 +1,220 @@
+/* refine_kernel.c — compiled sweep for RefineTopoLB's "incremental" kernel.
+ *
+ * One call runs ONE full sweep of the pairwise-swap refiner with the
+ * incremental delta structure: per-task best-swap caches (best_b, best_val,
+ * valid) that persist across sweeps, invalidated/folded by the dirty set of
+ * each accepted swap ({a, b} ∪ N(a) ∪ N(b) — exactly the rows/columns the
+ * cost-table patch mutates).
+ *
+ * Bit-identity contract: every floating-point expression mirrors the
+ * reference kernel's NumPy element order exactly (see
+ * repro/mapping/refine.py, _refine_reference and _apply_swap), and the
+ * build uses -ffp-contract=off so no fused-multiply-add changes rounding.
+ * The equivalence suite pins compiled and reference assignments to be
+ * bitwise equal.
+ *
+ * Compiled on demand by repro.mapping._native via the system C compiler;
+ * when no toolchain is available the pure-NumPy incremental path in
+ * refine.py runs instead.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+typedef int64_t i64;
+
+/* Reference row evaluation for task `a`: delta against every candidate b,
+ * written into buf[0..n), then first-minimum argmin (np.argmin semantics).
+ * Term order per element:  ((C[a,pb] + C[b,pa]) - C[a,pa]) - C[b,pb],
+ * then += (2.0 * w) * dist[pa, pb'] at neighbor positions, then
+ * buf[a] = 0.0. */
+static void compute_row(i64 n, i64 p, const double *cost, const double *dist,
+                        const i64 *assign, const i64 *indptr,
+                        const i64 *indices, const double *weights,
+                        double *buf, i64 a, i64 *bb_out, double *bv_out)
+{
+    const i64 pa = assign[a];
+    const double capa = cost[a * p + pa];
+    const double *arow = cost + a * p;
+    for (i64 b = 0; b < n; b++) {
+        const i64 pb = assign[b];
+        buf[b] = ((arow[pb] + cost[b * p + pa]) - capa) - cost[b * p + pb];
+    }
+    const double *drow = dist + pa * p;
+    for (i64 k = indptr[a]; k < indptr[a + 1]; k++) {
+        const i64 b = indices[k];
+        buf[b] += (2.0 * weights[k]) * drow[assign[b]];
+    }
+    buf[a] = 0.0;
+    i64 bb = 0;
+    double bv = buf[0];
+    for (i64 b = 1; b < n; b++) {
+        if (buf[b] < bv) {
+            bv = buf[b];
+            bb = b;
+        }
+    }
+    *bb_out = bb;
+    *bv_out = bv;
+}
+
+/* Swap the processors of a and b and patch the cost table, mirroring
+ * RefineTopoLB._apply_swap: cost[r, q] += (sign * w_r) * (d[pb,q] - d[pa,q])
+ * for every neighbor r of a (sign +1) and of b (sign -1). */
+static void apply_swap(i64 p, double *cost, const double *dist, i64 *assign,
+                       const i64 *indptr, const i64 *indices,
+                       const double *weights, i64 a, i64 b)
+{
+    const i64 pa = assign[a], pb = assign[b];
+    if (a == b || pa == pb)
+        return;
+    assign[a] = pb;
+    assign[b] = pa;
+    const double *db = dist + pb * p;
+    const double *da = dist + pa * p;
+    for (int side = 0; side < 2; side++) {
+        const i64 t = side ? b : a;
+        const double sign = side ? -1.0 : 1.0;
+        for (i64 k = indptr[t]; k < indptr[t + 1]; k++) {
+            double *crow = cost + indices[k] * p;
+            const double sw = sign * weights[k];
+            for (i64 q = 0; q < p; q++)
+                crow[q] += sw * (db[q] - da[q]);
+        }
+    }
+}
+
+static int cmp_i64(const void *x, const void *y)
+{
+    const i64 a = *(const i64 *)x, b = *(const i64 *)y;
+    return (a > b) - (a < b);
+}
+
+/* Run one sweep over perm[0..n). Caches best_b/best_val/valid persist
+ * across calls (the caller owns them, zero-initialised before sweep 1).
+ * stats (cumulative): [0] visits, [1] accepted swaps, [2] rows computed
+ * from scratch, [3] rows folded. Returns 1 if any swap was accepted. */
+i64 refine_sweep_incremental(i64 n, i64 p, double *cost, const double *dist,
+                             i64 *assign, const i64 *indptr,
+                             const i64 *indices, const double *weights,
+                             const i64 *perm, i64 *best_b, double *best_val,
+                             unsigned char *valid, i64 *stats)
+{
+    double *buf = (double *)malloc((size_t)n * sizeof(double));
+    i64 *touched = (i64 *)malloc((size_t)(2 * n + 2) * sizeof(i64));
+    i64 *pos = (i64 *)calloc((size_t)n, sizeof(i64));
+    double *corr = (double *)malloc((size_t)n * sizeof(double));
+    unsigned char *cset = (unsigned char *)calloc((size_t)n, 1);
+    if (!buf || !touched || !pos || !corr || !cset) {
+        free(buf); free(touched); free(pos); free(corr); free(cset);
+        return -1;
+    }
+
+    i64 swapped = 0;
+    for (i64 k = 0; k < n; k++) {
+        const i64 a = perm[k];
+        if (!valid[a]) {
+            compute_row(n, p, cost, dist, assign, indptr, indices, weights,
+                        buf, a, &best_b[a], &best_val[a]);
+            valid[a] = 1;
+            stats[2]++;
+        }
+        stats[0]++;
+        if (!(best_val[a] < -1e-9))
+            continue;
+        const i64 b = best_b[a];
+        stats[1]++;
+        swapped = 1;
+        apply_swap(p, cost, dist, assign, indptr, indices, weights, a, b);
+
+        /* Dirty set: a, b and their neighbors — sorted unique so the fold
+         * scans candidates in ascending task order (argmin tie-break). */
+        i64 m = 0;
+        touched[m++] = a;
+        touched[m++] = b;
+        for (i64 t = indptr[a]; t < indptr[a + 1]; t++)
+            touched[m++] = indices[t];
+        for (i64 t = indptr[b]; t < indptr[b + 1]; t++)
+            touched[m++] = indices[t];
+        qsort(touched, (size_t)m, sizeof(i64), cmp_i64);
+        i64 mu = 0;
+        for (i64 j = 0; j < m; j++)
+            if (j == 0 || touched[j] != touched[j - 1])
+                touched[mu++] = touched[j];
+        m = mu;
+
+        for (i64 j = 0; j < m; j++)
+            valid[touched[j]] = 0;
+
+        if (m * 4 >= n) {
+            /* Dense dirty set: folding costs as much as recomputing, so
+             * drop every cache (rows rebuild lazily on their next visit). */
+            memset(valid, 0, (size_t)n);
+            continue;
+        }
+        for (i64 j = 0; j < m; j++)
+            pos[touched[j]] = j + 1;
+
+        /* Fold the moved columns into every still-valid cache row: only
+         * entries at the dirty columns changed, and they are recomputed
+         * with the exact reference term order, so the merged (argmin, min)
+         * stays bitwise equal to a fresh row. Rows whose cached argmin is
+         * itself dirty lost their proof of minimality and recompute on
+         * their next visit instead. */
+        for (i64 r = 0; r < n; r++) {
+            if (!valid[r])
+                continue;
+            if (pos[best_b[r]]) {
+                valid[r] = 0;
+                continue;
+            }
+            const i64 pr = assign[r];
+            const double crr = cost[r * p + pr];
+            const double *rrow = cost + r * p;
+            const double *drow = dist + pr * p;
+            for (i64 t = indptr[r]; t < indptr[r + 1]; t++) {
+                const i64 j = pos[indices[t]];
+                if (j) {
+                    corr[j - 1] = (2.0 * weights[t]) * drow[assign[indices[t]]];
+                    cset[j - 1] = 1;
+                }
+            }
+            i64 bb = best_b[r];
+            double bv = best_val[r];
+            int updated = 0;
+            for (i64 j = 0; j < m; j++) {
+                const i64 d = touched[j];
+                const i64 pd = assign[d];
+                double v = ((rrow[pd] + cost[d * p + pr]) - crr)
+                           - cost[d * p + pd];
+                if (cset[j])
+                    v += corr[j];
+                if (v < bv || (v == bv && d < bb)) {
+                    bv = v;
+                    bb = d;
+                    updated = 1;
+                }
+            }
+            if (updated) {
+                best_b[r] = bb;
+                best_val[r] = bv;
+            }
+            for (i64 t = indptr[r]; t < indptr[r + 1]; t++) {
+                const i64 j = pos[indices[t]];
+                if (j)
+                    cset[j - 1] = 0;
+            }
+            stats[3]++;
+        }
+        for (i64 j = 0; j < m; j++)
+            pos[touched[j]] = 0;
+    }
+
+    free(buf);
+    free(touched);
+    free(pos);
+    free(corr);
+    free(cset);
+    return swapped;
+}

@@ -11,7 +11,11 @@ in. This package provides the equivalent machinery:
   deterministic routes of a direct :class:`~repro.topology.Topology`,
 * :class:`IterativeApplication` — dependency-honouring replay of Jacobi-style
   compute/communicate iterations under any task mapping,
-* latency / link-utilization statistics.
+* latency / link-utilization statistics,
+* :func:`flow_evaluate` — the flow-level contention estimator: static
+  per-link loads from dimension-ordered routes plus a provable makespan
+  lower bound, for machine scales where the DES is infeasible (see
+  :mod:`repro.netsim.flow` for the validity envelope).
 """
 
 from repro.netsim.eventqueue import EventQueue
@@ -28,6 +32,7 @@ from repro.netsim.collectives import (
     simulate_reduce,
 )
 from repro.netsim.stats import summarize_latencies, link_utilization
+from repro.netsim.flow import FlowResult, flow_evaluate, flow_summary, spearman
 
 __all__ = [
     "EventQueue",
@@ -52,4 +57,8 @@ __all__ = [
     "simulate_allreduce",
     "summarize_latencies",
     "link_utilization",
+    "FlowResult",
+    "flow_evaluate",
+    "flow_summary",
+    "spearman",
 ]

@@ -56,6 +56,7 @@ def link_summary(sim: NetworkSimulator, top: int = 10) -> dict:
     sim_time = float(sim.now)
     if not bytes_by_link:
         return {
+            "mode": "des",
             "links_used": 0,
             "total_bytes": 0.0,
             "max_link_bytes": 0.0,
@@ -70,6 +71,7 @@ def link_summary(sim: NetworkSimulator, top: int = 10) -> dict:
     util = busy / sim_time if sim_time > 0 else np.zeros_like(busy)
     hottest = sorted(bytes_by_link, key=lambda k: (-bytes_by_link[k], str(k)))[:top]
     return {
+        "mode": "des",
         "links_used": len(bytes_by_link),
         "total_bytes": float(loads.sum()),
         "max_link_bytes": float(loads.max()),

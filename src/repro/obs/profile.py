@@ -88,6 +88,7 @@ PROFILE_SCHEMA: dict[str, Any] = {
             "required": ["links_used", "total_bytes", "max_link_bytes", "top_links"],
             "additionalProperties": False,
             "properties": {
+                "mode": {"type": "string", "enum": ["des", "flow"]},
                 "links_used": {"type": "integer", "minimum": 0},
                 "total_bytes": {"type": "number", "minimum": 0},
                 "max_link_bytes": {"type": "number", "minimum": 0},
@@ -95,16 +96,20 @@ PROFILE_SCHEMA: dict[str, Any] = {
                 "max_utilization": {"type": "number", "minimum": 0},
                 "max_queue_depth": {"type": "integer", "minimum": 0},
                 "sim_time_us": {"type": "number", "minimum": 0},
+                "makespan_lower_bound_us": {"type": "number", "minimum": 0},
                 "top_links": {
                     "type": "array",
                     "items": {
                         "type": "object",
-                        "required": ["link", "bytes", "busy_us"],
+                        # "busy_us" on a DES summary, "messages" on a flow
+                        # one; both report "link" and "bytes".
+                        "required": ["link", "bytes"],
                         "additionalProperties": False,
                         "properties": {
                             "link": {"type": "string"},
                             "bytes": {"type": "number", "minimum": 0},
                             "busy_us": {"type": "number", "minimum": 0},
+                            "messages": {"type": "integer", "minimum": 0},
                             "max_queue_depth": {"type": "integer", "minimum": 0},
                         },
                     },
@@ -269,6 +274,11 @@ def summarize_profile(profile: dict[str, Any]) -> str:
                 if "sim_time_us" in netsim
                 else ""
             )
+            + (
+                f", makespan >= {netsim['makespan_lower_bound_us']:.6g} us"
+                if "makespan_lower_bound_us" in netsim
+                else ""
+            )
         )
         if "max_utilization" in netsim:
             lines.append(
@@ -276,11 +286,14 @@ def summarize_profile(profile: dict[str, Any]) -> str:
                 f"max={netsim['max_utilization']:.3f}"
             )
         if netsim["top_links"]:
-            lines.append("  hottest links (bytes / busy us):")
+            flow = netsim.get("mode") == "flow"
+            lines.append("  hottest links (bytes / messages):" if flow
+                         else "  hottest links (bytes / busy us):")
             for entry in netsim["top_links"]:
+                tail = entry["messages"] if flow else entry["busy_us"]
                 lines.append(
                     f"    {entry['link']:<16} {entry['bytes']:>12.6g}"
-                    f"  {entry['busy_us']:>10.4g}"
+                    f"  {tail:>10.4g}"
                 )
 
     events = profile.get("events", [])

@@ -46,10 +46,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--validate", choices=("cheap", "full"),
                         default="full", dest="level",
                         help="invariant tier to enforce (default: full)")
-    parser.add_argument("--kernel", choices=("vectorized", "reference", "both"),
+    parser.add_argument("--kernel",
+                        choices=("vectorized", "reference", "incremental",
+                                 "both", "all"),
                         default=None,
                         help="kernel(s) to replay under (default: process "
-                             "default; 'both' runs each golden twice)")
+                             "default; 'both' runs each golden under "
+                             "vectorized+reference, 'all' under every "
+                             "kernel)")
     parser.add_argument("--graph", help="graph spec for single-run mode, "
                                         "e.g. mesh2d:8x8;bytes=1024")
     parser.add_argument("--topology", help="topology spec, e.g. torus:8x8")
@@ -67,6 +71,9 @@ def build_parser() -> argparse.ArgumentParser:
 def _kernels(arg: str | None) -> list[str | None]:
     if arg == "both":
         return ["vectorized", "reference"]
+    if arg == "all":
+        from repro.mapping.kernels import KERNELS
+        return list(KERNELS)
     return [arg]
 
 
@@ -135,7 +142,8 @@ def _regenerate(args) -> int:
     for path in paths:
         doc = load_golden(path)
         write_golden(path, graph=doc["graph"], topology=doc["topology"],
-                     mapper=doc["mapper"], seed=doc["seed"])
+                     mapper=doc["mapper"], seed=doc["seed"],
+                     flow_metrics=doc.get("flow_metrics", False))
         print(f"regenerated {path}")
     return 0
 

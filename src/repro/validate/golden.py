@@ -79,14 +79,22 @@ def _run_triple(doc: dict, *, validate: str, kernel: str | None):
         seed=doc["seed"],
         kernel=kernel,
         validate=validate,
+        flow_metrics=bool(doc.get("flow_metrics", False)),
     ))
 
 
 def write_golden(path: Path, *, graph: str, topology: str, mapper: str,
-                 seed: int = 0) -> dict:
-    """Run the triple at ``--validate full`` and pin its outputs to ``path``."""
+                 seed: int = 0, flow_metrics: bool = False) -> dict:
+    """Run the triple at ``--validate full`` and pin its outputs to ``path``.
+
+    With ``flow_metrics=True`` the engine also runs the flow-level
+    contention estimator and the pinned metrics block gains the ``flow_*``
+    keys — drift in the route accounting or the makespan bound then trips
+    the corpus even when the assignment itself is unchanged.
+    """
     result = _run_triple(
-        {"graph": graph, "topology": topology, "mapper": mapper, "seed": seed},
+        {"graph": graph, "topology": topology, "mapper": mapper, "seed": seed,
+         "flow_metrics": flow_metrics},
         validate="full", kernel=None,
     )
     doc = {
@@ -98,6 +106,8 @@ def write_golden(path: Path, *, graph: str, topology: str, mapper: str,
         "assignment": result.assignment.tolist(),
         "metrics": result.metrics,
     }
+    if flow_metrics:
+        doc["flow_metrics"] = True
     Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     return doc
 

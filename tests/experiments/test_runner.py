@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -16,7 +17,7 @@ class TestRunnerCli:
             "fig7_8", "fig9", "fig10_11",
         }
         assert set(runner.EXPERIMENTS) == set(runner.PAPER_EXPERIMENTS) | {
-            "zoo", "bounds", "objectives", "scaling",
+            "zoo", "bounds", "objectives", "scaling", "flowcheck",
         }
 
     def test_runs_one_experiment(self, capsys, monkeypatch):
@@ -62,6 +63,18 @@ class TestRunnerCli:
         assert doc["counters"]["topolb.cycles"] > 0
         assert doc["context"]["experiments"] == ["fig1_2"]
         assert obs.active() is None  # runner restored the disabled state
+
+    def test_netsim_mode_flag_exports_env(self, capsys, monkeypatch):
+        # --netsim-mode travels via the environment so --jobs workers
+        # inherit it; monkeypatch.setenv restores the pre-test state.
+        from repro.experiments import fig01_02
+        from repro.experiments.common import NETSIM_MODE_ENV
+
+        monkeypatch.setattr(fig01_02, "QUICK_SIDES", (4,))
+        monkeypatch.setenv(NETSIM_MODE_ENV, "des")
+        assert runner.main(["fig1_2", "--netsim-mode", "flow"]) == 0
+        assert os.environ[NETSIM_MODE_ENV] == "flow"
+        assert "fig1_2" in capsys.readouterr().out
 
     def test_rejects_jobs_below_one(self):
         with pytest.raises(SystemExit):

@@ -92,15 +92,57 @@ class TestRefineEquivalence:
                            block_size=block_size).refine(start)
         np.testing.assert_array_equal(vec.assignment, ref.assignment)
 
-    def test_converged_input_is_noop_for_both(self):
+    def test_incremental_matches_reference(self):
+        graph = geometric_taskgraph(48, radius=0.3, seed=3)
+        topo = Mesh((6, 8))
+        start = RandomMapper(seed=11).map(graph, topo)
+        ref = RefineTopoLB(kernel="reference", seed=1).refine(start)
+        inc = RefineTopoLB(kernel="incremental", seed=1).refine(start)
+        np.testing.assert_array_equal(inc.assignment, ref.assignment)
+
+    def test_converged_input_is_noop_for_all(self):
         graph = mesh2d_pattern(4, 4)
         topo = Torus((4, 4))
         first = RefineTopoLB(kernel="reference", seed=0).refine(
             TopoLB().map(graph, topo))
-        again_ref = RefineTopoLB(kernel="reference", seed=0).refine(first)
-        again_vec = RefineTopoLB(kernel="vectorized", seed=0).refine(first)
-        np.testing.assert_array_equal(again_ref.assignment, first.assignment)
-        np.testing.assert_array_equal(again_vec.assignment, first.assignment)
+        for kernel in KERNELS:
+            again = RefineTopoLB(kernel=kernel, seed=0).refine(first)
+            np.testing.assert_array_equal(
+                again.assignment, first.assignment, err_msg=kernel)
+
+
+class TestIncrementalNative:
+    """The compiled incremental kernel and its pure-numpy fallback are the
+    same algorithm twice; both must land bit-identically on the reference
+    path's result whether or not a C compiler is around."""
+
+    def _instances(self):
+        insts = [(geometric_taskgraph(48, radius=0.3, seed=3), Mesh((6, 8))),
+                 (random_taskgraph(64, edge_prob=0.12, seed=8), Torus((8, 8))),
+                 (mesh3d_pattern(4, 4, 4), Torus((4, 4, 4)))]
+        return [(g, t, RandomMapper(seed=11).map(g, t)) for g, t in insts]
+
+    def test_fallback_matches_native(self, monkeypatch):
+        for graph, topo, start in self._instances():
+            native = RefineTopoLB(kernel="incremental", seed=1).refine(start)
+            with monkeypatch.context() as m:
+                m.setenv("REPRO_NO_NATIVE", "1")
+                fallback = RefineTopoLB(kernel="incremental",
+                                        seed=1).refine(start)
+            np.testing.assert_array_equal(
+                fallback.assignment, native.assignment)
+
+    def test_native_loader_is_memoized_and_gated(self, monkeypatch):
+        from repro.mapping import _native
+
+        monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+        assert _native.load() is None
+        assert not _native.available()
+        monkeypatch.delenv("REPRO_NO_NATIVE")
+        first = _native.load()
+        if first is not None:  # no compiler on this host -> both stay None
+            assert _native.load() is first
+            assert _native.available()
 
 
 class TestMaskedEquivalence:
@@ -148,6 +190,18 @@ class TestMaskedEquivalence:
                            block_size=block_size).refine(start)
         np.testing.assert_array_equal(vec.assignment, ref.assignment)
         assert deg.allowed_mask()[vec.assignment].all()
+
+    def test_refine_masked_incremental(self, monkeypatch):
+        deg = self._degraded()
+        graph = random_taskgraph(deg.num_healthy, edge_prob=0.3, seed=6)
+        start = RandomMapper(seed=11).map(graph, deg)
+        ref = RefineTopoLB(kernel="reference", seed=1).refine(start)
+        inc = RefineTopoLB(kernel="incremental", seed=1).refine(start)
+        np.testing.assert_array_equal(inc.assignment, ref.assignment)
+        assert deg.allowed_mask()[inc.assignment].all()
+        monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+        fallback = RefineTopoLB(kernel="incremental", seed=1).refine(start)
+        np.testing.assert_array_equal(fallback.assignment, ref.assignment)
 
 
 class TestKernelSelection:

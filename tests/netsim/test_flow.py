@@ -1,0 +1,283 @@
+"""Flow-level contention estimator vs the DES and the metrics oracles.
+
+Three layers of evidence pin :mod:`repro.netsim.flow`:
+
+* **exactness** — the grid fast path's per-link loads equal the
+  route-walking oracle (:func:`repro.mapping.metrics.per_link_loads`) and
+  the DES's measured ``link_bytes`` key-for-key, value-for-value;
+* **the bound** — ``makespan_lower_bound`` never exceeds the DES
+  ``total_time`` on the same instance (property-tested over random
+  graphs, mappings, bandwidths and latencies);
+* **the ranking** — Spearman rank correlation of flow vs DES makespans
+  across a mapping pool stays >= 0.9 on the pinned validation instances
+  (the envelope ``--netsim-mode flow`` advertises).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import mapper_from_spec
+from repro.exceptions import SimulationError
+from repro.mapping.base import Mapping
+from repro.mapping.metrics import per_link_loads
+from repro.netsim import NetworkSimulator
+from repro.netsim.appsim import IterativeApplication
+from repro.netsim.flow import (
+    FlowResult,
+    _generic_link_loads,
+    flow_evaluate,
+    flow_summary,
+    spearman,
+)
+from repro.taskgraph import mesh2d_pattern, random_taskgraph
+from repro.taskgraph.patterns import mesh3d_pattern, ring_pattern
+from repro.topology import FatTree, Hypercube, Mesh, Torus
+
+GRID_CASES = [
+    ("torus6x6", mesh2d_pattern(6, 6, message_bytes=512.0), Torus((6, 6))),
+    ("torus5x7-odd", random_taskgraph(35, edge_prob=0.2, seed=3),
+     Torus((5, 7))),
+    ("mesh4x4x4", mesh3d_pattern(4, 4, 4, message_bytes=256.0),
+     Mesh((4, 4, 4))),
+    ("torus4x3x2", random_taskgraph(24, edge_prob=0.3, seed=8),
+     Torus((4, 3, 2))),
+    ("ring-on-mesh", ring_pattern(12, message_bytes=128.0), Mesh((3, 4))),
+]
+
+
+def _mapping(graph, topo, seed=0):
+    rng = np.random.default_rng(seed)
+    return Mapping(graph, topo, rng.permutation(topo.num_nodes)[:graph.num_tasks])
+
+
+class TestGridExactness:
+    @pytest.mark.parametrize("label,graph,topo", GRID_CASES,
+                             ids=[c[0] for c in GRID_CASES])
+    @pytest.mark.parametrize("seed", (0, 1))
+    def test_link_loads_match_route_oracle(self, label, graph, topo, seed):
+        """The difference-array fast path equals walking every route."""
+        mapping = _mapping(graph, topo, seed)
+        flow = flow_evaluate(mapping)
+        oracle = per_link_loads(graph, topo, mapping.assignment)
+        assert flow.link_bytes.keys() == oracle.keys()
+        for link, load in oracle.items():
+            assert flow.link_bytes[link] == pytest.approx(load), (label, link)
+
+    @pytest.mark.parametrize("label,graph,topo", GRID_CASES[:3],
+                             ids=[c[0] for c in GRID_CASES[:3]])
+    def test_grid_path_matches_generic_path(self, label, graph, topo):
+        """Same module, two algorithms: fast path == route-walking fallback."""
+        from repro.netsim.flow import _directed_messages
+
+        mapping = _mapping(graph, topo, seed=5)
+        src, dst, sizes = _directed_messages(mapping, None)
+        remote = src != dst
+        fast = flow_evaluate(mapping)
+        slow_bytes, slow_msgs = _generic_link_loads(
+            topo, src[remote], dst[remote], sizes[remote])
+        assert fast.link_bytes.keys() == slow_bytes.keys()
+        for link in slow_bytes:
+            assert fast.link_bytes[link] == pytest.approx(slow_bytes[link])
+            assert fast.link_messages[link] == slow_msgs[link]
+
+    def test_conservation_total_is_hop_bytes(self):
+        """Bytes-on-links summed over links == the hop-bytes metric."""
+        graph, topo = mesh2d_pattern(6, 6, message_bytes=512.0), Torus((6, 6))
+        mapping = _mapping(graph, topo, seed=2)
+        flow = flow_evaluate(mapping, iterations=3)
+        assert sum(flow.link_bytes.values()) == pytest.approx(mapping.hop_bytes)
+        assert flow.total_bytes == pytest.approx(3 * mapping.hop_bytes)
+
+    def test_matches_des_link_bytes(self):
+        """Offered load == what the DES actually pushed through each link."""
+        graph, topo = mesh2d_pattern(6, 6, message_bytes=512.0), Torus((6, 6))
+        mapping = mapper_from_spec("topocentlb", 0).map(graph, topo)
+        iters = 2
+        sim = NetworkSimulator(topo)
+        IterativeApplication(mapping, sim, iterations=iters).run()
+        des = sim.link_bytes()
+        flow = flow_evaluate(mapping, iterations=iters)
+        assert flow.link_bytes.keys() == des.keys()
+        for link, measured in des.items():
+            assert flow.link_bytes[link] * iters == pytest.approx(measured)
+
+
+class TestGenericFallback:
+    def _topologies(self):
+        from repro.topology import ArbitraryTopology
+
+        ring_plus_chord = ArbitraryTopology(
+            8, [(i, (i + 1) % 8) for i in range(8)] + [(0, 4)])
+        return [("hypercube5", Hypercube(5)),
+                ("irregular8", ring_plus_chord)]
+
+    def test_non_grid_topologies_match_route_oracle(self):
+        for label, topo in self._topologies():
+            graph = random_taskgraph(topo.num_nodes, edge_prob=0.15, seed=4)
+            mapping = _mapping(graph, topo, seed=1)
+            flow = flow_evaluate(mapping)
+            oracle = per_link_loads(graph, topo, mapping.assignment)
+            assert flow.link_bytes.keys() == oracle.keys(), label
+            for link, load in oracle.items():
+                assert flow.link_bytes[link] == pytest.approx(load), label
+
+    def test_indirect_network_rejected_like_des(self):
+        """Fat-trees define no processor-level routes; the flow estimator
+        surfaces the same TopologyError the DES would."""
+        from repro.exceptions import TopologyError
+
+        topo = FatTree(4, 3)
+        graph = random_taskgraph(topo.num_nodes, edge_prob=0.2, seed=4)
+        with pytest.raises(TopologyError):
+            flow_evaluate(_mapping(graph, topo, seed=1))
+
+
+class TestMakespanLowerBound:
+    @given(
+        seed=st.integers(0, 10_000),
+        bandwidth=st.sampled_from((20.0, 100.0, 1000.0)),
+        alpha=st.sampled_from((0.0, 0.1, 0.5)),
+        iterations=st.integers(1, 4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_bound_below_des(self, seed, bandwidth, alpha,
+                                      iterations):
+        """flow makespan <= DES total_time for random instances/parameters."""
+        rng = np.random.default_rng(seed)
+        graph = random_taskgraph(12, edge_prob=0.3, seed=seed)
+        topo = Torus((3, 4))
+        mapping = Mapping(graph, topo, rng.permutation(12))
+        sim = NetworkSimulator(topo, bandwidth=bandwidth, alpha=alpha)
+        res = IterativeApplication(mapping, sim, iterations=iterations).run()
+        flow = flow_evaluate(mapping, iterations=iterations,
+                             bandwidth=bandwidth, alpha=alpha)
+        assert flow.makespan_lower_bound <= res.total_time * (1 + 1e-9)
+
+    def test_bound_tight_when_uncontended(self):
+        """With nothing to queue behind, one iteration's bound (compute +
+        slowest no-load delivery) IS the DES answer exactly; over several
+        iterations the DES re-pays the delivery latency per round while the
+        bound only charges it once, so the ratio stays close to 1 but the
+        inequality is strict."""
+        graph = ring_pattern(64, message_bytes=64.0)
+        topo = Torus((8, 8))
+        mapping = mapper_from_spec("topolb", 0).map(graph, topo)
+
+        sim = NetworkSimulator(topo)
+        one = IterativeApplication(mapping, sim, iterations=1).run()
+        assert flow_evaluate(mapping).makespan_lower_bound \
+            == pytest.approx(one.total_time)
+
+        sim = NetworkSimulator(topo)
+        five = IterativeApplication(mapping, sim, iterations=5).run()
+        bound = flow_evaluate(mapping, iterations=5).makespan_lower_bound
+        assert 0.85 * five.total_time <= bound <= five.total_time
+
+
+class TestRankCorrelation:
+    """Pinned validity-envelope fixtures behind ``--netsim-mode flow``."""
+
+    FIXTURES = [
+        ("jacobi6x6-torus6x6",
+         lambda: mesh2d_pattern(6, 6, message_bytes=512.0), Torus((6, 6)),
+         1000.0),
+        ("jacobi8x8-torus4x4x4",
+         lambda: mesh2d_pattern(8, 8, message_bytes=512.0), Torus((4, 4, 4)),
+         50.0),  # congested regime: low bandwidth
+    ]
+
+    @pytest.mark.parametrize("label,make_graph,topo,bandwidth", FIXTURES,
+                             ids=[f[0] for f in FIXTURES])
+    def test_flow_ranks_mappings_like_des(self, label, make_graph, topo,
+                                          bandwidth):
+        graph = make_graph()
+        rng = np.random.default_rng(17)
+        pool = [mapper_from_spec(spec, 0).map(graph, topo)
+                for spec in ("topolb", "topocentlb", "random")]
+        pool += [_mapping(graph, topo, seed=int(s))
+                 for s in rng.integers(0, 10_000, size=5)]
+        des, flow = [], []
+        for mapping in pool:
+            sim = NetworkSimulator(topo, bandwidth=bandwidth)
+            res = IterativeApplication(mapping, sim, iterations=4).run()
+            des.append(res.total_time)
+            flow.append(flow_evaluate(mapping, iterations=4,
+                                      bandwidth=bandwidth).makespan_lower_bound)
+        assert spearman(flow, des) >= 0.9, label
+
+
+class TestSpearman:
+    def test_monotone_is_one(self):
+        assert spearman([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+        assert spearman([1, 2, 3, 4], [1, 8, 27, 64]) == pytest.approx(1.0)
+
+    def test_reversed_is_minus_one(self):
+        assert spearman([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_ties_use_average_ranks(self):
+        # scipy.stats.spearmanr([1, 2, 2, 3], [1, 2, 3, 4]) == 0.9486832...
+        assert spearman([1, 2, 2, 3], [1, 2, 3, 4]) == pytest.approx(
+            0.9486832980505138)
+
+    def test_degenerate_inputs(self):
+        assert spearman([5.0], [7.0]) == 1.0
+        assert spearman([2, 2, 2], [1, 5, 9]) == 1.0  # zero variance
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            spearman([1, 2], [1, 2, 3])
+
+
+class TestResultSurface:
+    def _flow(self, iterations=2):
+        graph, topo = mesh2d_pattern(4, 4, message_bytes=256.0), Torus((4, 4))
+        return flow_evaluate(_mapping(graph, topo, seed=0),
+                             iterations=iterations)
+
+    def test_summary_shape(self):
+        flow = self._flow()
+        summary = flow_summary(flow, top=3)
+        assert summary["mode"] == "flow"
+        assert summary["links_used"] == flow.links_used > 0
+        assert summary["max_link_bytes"] == flow.max_link_bytes
+        assert 0.0 < summary["max_utilization"] <= 1.0 + 1e-9
+        assert len(summary["top_links"]) == 3
+        tops = [entry["bytes"] for entry in summary["top_links"]]
+        assert tops == sorted(tops, reverse=True)
+        assert tops[0] == pytest.approx(flow.max_link_bytes)
+
+    def test_load_histogram(self):
+        flow = self._flow()
+        hist = flow.load_histogram(bins=5)
+        assert sum(hist["counts"]) == flow.links_used
+        assert hist["max"] == pytest.approx(flow.max_link_bytes)
+
+    def test_empty_traffic(self):
+        from repro.taskgraph import TaskGraph
+
+        graph = TaskGraph(4, [])  # no edges -> no traffic at all
+        topo = Torus((2, 2))
+        flow = flow_evaluate(_mapping(graph, topo))
+        assert flow.links_used == 0
+        assert flow.total_bytes == 0.0
+        assert flow_summary(flow)["top_links"] == []
+        assert flow.load_histogram()["counts"] == []
+
+    def test_parameter_validation(self):
+        graph, topo = mesh2d_pattern(4, 4), Torus((4, 4))
+        mapping = _mapping(graph, topo)
+        with pytest.raises(SimulationError):
+            flow_evaluate(mapping, iterations=0)
+        with pytest.raises(SimulationError):
+            flow_evaluate(mapping, bandwidth=0.0)
+        with pytest.raises(SimulationError):
+            flow_evaluate(mapping, message_bytes=-1.0)
+        with pytest.raises(SimulationError):
+            flow_evaluate(mapping, alpha=-0.1)
+
+    def test_result_type(self):
+        assert isinstance(self._flow(), FlowResult)

@@ -84,6 +84,65 @@ class TestRefineCounters:
         assert "refine.refine" in prof.timers
 
 
+class TestRefineSweepEvents:
+    """Per-sweep ``refine.sweep`` events: totals-consistent and kernel-free.
+
+    Every kernel visits the same permutation and accepts the same swaps
+    (bit-identity is enforced by the equivalence suite), so the event stream
+    — one event per sweep with the sweep's accepted-swap and evaluated-pair
+    counts — must be byte-for-byte identical no matter which kernel produced
+    it, native incremental and its numpy fallback included.
+    """
+
+    def _instance(self):
+        from repro.mapping import RandomMapper
+
+        graph = mesh2d_pattern(6, 6, message_bytes=256)
+        topo = Torus((6, 6))
+        # A random start leaves many improving swaps, so several sweeps run
+        # and the accepted counts are nontrivial.
+        return RandomMapper(seed=3).map(graph, topo)
+
+    def _sweep_events(self, kernel, start):
+        with obs.profiled() as prof:
+            RefineTopoLB(kernel=kernel, seed=1).refine(start)
+        events = [e for e in prof.events if e["name"] == "refine.sweep"]
+        return events, dict(prof.counters)
+
+    @pytest.mark.parametrize("kernel",
+                             ("reference", "vectorized", "incremental"))
+    def test_events_sum_to_totals(self, kernel):
+        start = self._instance()
+        n = start.graph.num_tasks
+        events, counters = self._sweep_events(kernel, start)
+
+        assert len(events) == counters["refine.sweeps"] >= 2
+        assert [e["sweep"] for e in events] == list(range(1, len(events) + 1))
+        assert sum(e["accepted"] for e in events) == \
+            counters["refine.swaps_accepted"]
+        assert sum(e["evaluated_pairs"] for e in events) == \
+            counters["refine.pairs_evaluated"]
+        # Each visit weighs one task against its n - 1 candidate partners.
+        assert all(e["evaluated_pairs"] % (n - 1) == 0 for e in events)
+        # Convergence (not the sweep cap) ended the run: a final quiet sweep.
+        if len(events) < 10:
+            assert events[-1]["accepted"] == 0
+
+    def test_event_stream_is_kernel_independent(self, monkeypatch):
+        start = self._instance()
+        streams = {
+            kernel: self._sweep_events(kernel, start)[0]
+            for kernel in ("reference", "vectorized", "incremental")
+        }
+        monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+        streams["incremental-fallback"] = \
+            self._sweep_events("incremental", start)[0]
+        reference = streams.pop("reference")
+        assert reference[0]["accepted"] > 0
+        for kernel, events in streams.items():
+            assert events == reference, f"{kernel} diverged from reference"
+
+
 class TestDisabledPath:
     def test_disabled_path_allocates_nothing_in_obs(self):
         """With profiling off, ``Mapper.map`` touches no obs-layer code that

@@ -171,6 +171,31 @@ class TestProfileArtifact:
         with pytest.raises(ProfileError):
             obs.validate_profile(bad)
 
+    def test_flow_summary_shape_accepted(self):
+        # The flow estimator embeds a different netsim block: "mode",
+        # a makespan lower bound, and per-link message counts in place
+        # of measured busy times (see repro.netsim.flow.flow_summary).
+        prof = obs.Profiler()
+        doc = obs.build_profile(
+            prof,
+            command="unit-test",
+            netsim={
+                "mode": "flow",
+                "links_used": 1,
+                "total_bytes": 100.0,
+                "max_link_bytes": 100.0,
+                "mean_utilization": 0.5,
+                "max_utilization": 1.0,
+                "makespan_lower_bound_us": 2.0,
+                "top_links": [{"link": "0->1", "bytes": 100.0, "messages": 4}],
+            },
+        )
+        jsonschema = pytest.importorskip("jsonschema")
+        jsonschema.validate(doc, obs.PROFILE_SCHEMA)
+        report = obs.summarize_profile(doc)
+        assert "makespan >= 2 us" in report
+        assert "bytes / messages" in report
+
     def test_validation_rejects_malformed_netsim(self):
         bad = self._profile()
         del bad["netsim"]["top_links"]

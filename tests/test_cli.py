@@ -138,6 +138,26 @@ class TestProfileAndStats:
         assert "topolb.cycles" in out
         assert "hottest links" in out
 
+    def test_flow_mode_profile_and_stats(self, graph_file, tmp_path, capsys):
+        from repro import obs
+
+        prof_file = tmp_path / "prof.json"
+        rc = main(["--taskgraph", str(graph_file), "--topology", "torus:4x4",
+                   "--strategy", "RefineTopoLB", "--netsim-mode", "flow",
+                   "--simulate-iters", "4", "--profile", str(prof_file)])
+        assert rc == 0
+        capsys.readouterr()
+
+        doc = obs.load_profile(prof_file)  # validates against the schema
+        assert doc["netsim"]["mode"] == "flow"
+        assert doc["netsim"]["makespan_lower_bound_us"] > 0
+        assert all("messages" in e for e in doc["netsim"]["top_links"])
+
+        assert main(["--stats", str(prof_file)]) == 0
+        out = capsys.readouterr().out
+        assert "makespan >=" in out
+        assert "hottest links (bytes / messages):" in out
+
     def test_stats_missing_file(self, tmp_path, capsys):
         rc = main(["--stats", str(tmp_path / "absent.json")])
         assert rc == 1

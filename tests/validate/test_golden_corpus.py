@@ -20,6 +20,30 @@ def test_corpus_is_not_empty():
     assert len(GOLDEN_PATHS) >= 8
 
 
+def test_corpus_covers_flow_mode():
+    """At least two triples pin the flow estimator's metrics, so drift in
+    route accounting or the makespan bound trips the corpus even when every
+    assignment is unchanged."""
+    flow_docs = [load_golden(p) for p in GOLDEN_PATHS
+                 if load_golden(p).get("flow_metrics")]
+    assert len(flow_docs) >= 2
+    for doc in flow_docs:
+        assert {"flow_max_link_bytes", "flow_total_bytes", "flow_links_used",
+                "flow_makespan_lower_bound_us"} <= doc["metrics"].keys()
+
+
+def test_flow_metric_drift_detected(tmp_path):
+    flow_path = next(p for p in GOLDEN_PATHS
+                     if load_golden(p).get("flow_metrics"))
+    doc = load_golden(flow_path)
+    doc["metrics"]["flow_max_link_bytes"] += 1.0
+    path = tmp_path / "tampered_flow.json"
+    path.write_text(json.dumps(doc))
+    with pytest.raises(ValidationError) as err:
+        check_golden(path, level="cheap")
+    assert err.value.details["metric"] == "flow_max_link_bytes"
+
+
 @pytest.mark.parametrize("path", GOLDEN_PATHS, ids=lambda p: p.stem)
 @pytest.mark.parametrize("kernel", ["vectorized", "reference"])
 def test_golden_replays_exactly(path, kernel):
