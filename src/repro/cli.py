@@ -69,6 +69,19 @@ def build_parser() -> argparse.ArgumentParser:
                              "'flow' uses the static flow-level contention "
                              "estimator (fast; lower-bound makespan — see "
                              "docs/ARCHITECTURE.md for the validity envelope)")
+    parser.add_argument("--buffer-bytes", type=float, default=None,
+                        metavar="BYTES",
+                        help="finite per-link buffer capacity for the DES "
+                             "replay (default: unbounded FIFO queues); "
+                             "overload behaviour is set by --overload-policy "
+                             "and tail latencies are reported per size class")
+    parser.add_argument("--overload-policy", choices=("drop", "ecn", "credit"),
+                        default="drop",
+                        help="what a full finite buffer does (only with "
+                             "--buffer-bytes): 'drop' tail-drops and "
+                             "retransmits end-to-end, 'ecn' marks past a "
+                             "threshold and paces marked flows, 'credit' "
+                             "applies lossless hop-by-hop backpressure")
     parser.add_argument("--stats", type=Path, metavar="PROFILE",
                         help="summarize an existing profile JSON and exit")
     parser.add_argument("--list-strategies", action="store_true",
@@ -109,6 +122,11 @@ def main(argv: list[str] | None = None) -> int:
                      "(or --list-strategies / --stats)")
     if args.simulate_iters is not None and args.simulate_iters < 0:
         parser.error("--simulate-iters must be >= 0")
+    if args.buffer_bytes is not None and args.buffer_bytes <= 0:
+        parser.error("--buffer-bytes must be positive")
+    if args.buffer_bytes is not None and args.netsim_mode == "flow":
+        parser.error("--buffer-bytes requires the DES (--netsim-mode des); "
+                     "the flow estimator has no buffer model")
 
     try:
         report = run_mapping(
@@ -116,6 +134,8 @@ def main(argv: list[str] | None = None) -> int:
             args.seed, args.output, profile=args.profile,
             simulate_iters=args.simulate_iters, kernel=args.kernel,
             netsim_mode=args.netsim_mode,
+            buffer_bytes=args.buffer_bytes,
+            overload_policy=args.overload_policy,
         )
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -133,7 +153,9 @@ def run_mapping(graph_path: Path, is_lb_dump: bool, topology_spec: str,
                 profile: Path | None = None,
                 simulate_iters: int | None = None,
                 kernel: str | None = None,
-                netsim_mode: str = "des") -> dict:
+                netsim_mode: str = "des",
+                buffer_bytes: float | None = None,
+                overload_policy: str = "drop") -> dict:
     """Load inputs, run the strategy, optionally replay/profile/write."""
     from repro import obs
     from repro.engine import canonical_command, canonical_mapper_spec
@@ -176,7 +198,8 @@ def run_mapping(graph_path: Path, is_lb_dump: bool, topology_spec: str,
         netsim_summary = None
         if simulate_iters > 0:
             netsim_summary = _replay_network(
-                mapping, report, simulate_iters, mode=netsim_mode
+                mapping, report, simulate_iters, mode=netsim_mode,
+                buffer_bytes=buffer_bytes, overload_policy=overload_policy,
             )
 
         if output is not None:
@@ -219,14 +242,19 @@ def run_mapping(graph_path: Path, is_lb_dump: bool, topology_spec: str,
 
 
 def _replay_network(mapping, report: dict, iterations: int,
-                    mode: str = "des") -> dict:
+                    mode: str = "des",
+                    buffer_bytes: float | None = None,
+                    overload_policy: str = "drop") -> dict:
     """Evaluate the mapped app's network behaviour; extend ``report`` and
     return the per-link load summary for the profile's ``netsim`` section.
 
     ``mode="des"`` replays through the per-packet simulator; ``mode="flow"``
     runs the static flow-level estimator instead — same traffic, no event
     queue, makespan reported as a lower bound (``sim_time_us`` is then that
-    bound, not a measured completion time).
+    bound, not a measured completion time). With ``buffer_bytes`` set the
+    DES models finite link buffers under ``overload_policy``, and the
+    summary gains a ``tail`` section with p50/p99/p999 latencies, size-class
+    rows, and overload counters.
     """
     from repro import obs
 
@@ -243,10 +271,21 @@ def _replay_network(mapping, report: dict, iterations: int,
 
     from repro.netsim.appsim import IterativeApplication
     from repro.netsim.simulator import NetworkSimulator
-    from repro.netsim.stats import link_summary
+    from repro.netsim.stats import link_summary, tail_summary
 
     with obs.timer("cli.simulate"):
-        sim = NetworkSimulator(mapping.topology)
+        kwargs = {}
+        if buffer_bytes is not None:
+            # Buffered replay. The Jacobi loop is closed-loop — every task
+            # waits on its neighbor messages — so a finally-dropped message
+            # would wedge the app; make retransmission persistent (the
+            # closed loop self-limits, so retries drain) and keep the
+            # unroutable backstop as drop-and-count rather than abort.
+            kwargs = {"buffer_bytes": buffer_bytes,
+                      "overload_policy": overload_policy,
+                      "unroutable_policy": "drop",
+                      "max_retries": 64}
+        sim = NetworkSimulator(mapping.topology, **kwargs)
         app = IterativeApplication(mapping, sim, iterations=iterations)
         result = app.run()
     report["sim_iterations"] = iterations
@@ -254,7 +293,17 @@ def _replay_network(mapping, report: dict, iterations: int,
     report["sim_time_us"] = result.total_time
     report["sim_mean_latency_us"] = result.mean_message_latency
     report["sim_messages"] = result.messages_delivered
-    return link_summary(sim)
+    summary = link_summary(sim)
+    tail = tail_summary(sim, iteration_times=result.iteration_times)
+    summary["tail"] = tail
+    report["sim_p50_us"] = tail["latency"]["p50"]
+    report["sim_p99_us"] = tail["latency"]["p99"]
+    report["sim_p999_us"] = tail["latency"]["p999"]
+    if buffer_bytes is not None:
+        report["sim_dropped"] = tail["dropped"]
+        report["sim_retransmits"] = tail["retransmits"]
+        report["sim_ecn_marks"] = tail["ecn_marks"]
+    return summary
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests

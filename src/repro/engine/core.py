@@ -177,6 +177,16 @@ class MappingRequest:
     #: Violations raise :class:`~repro.exceptions.ValidationError` with a
     #: replayable ``repro-validate`` command; see docs/VALIDATION.md.
     validate: str = "off"
+    #: Optional DES replay of the produced mapping: a dict of knobs merged
+    #: into ``metrics`` under ``des_*`` keys (makespan, p50/p99/p999 tails,
+    #: drop/retransmit/ECN counters). Recognized keys: ``iterations``
+    #: (default 2), ``buffer_bytes``, ``overload_policy``, and the
+    #: passthrough simulator knobs ``bandwidth``, ``alpha``, ``max_retries``,
+    #: ``retry_delay``, ``retry_backoff``, ``retry_jitter``, ``seed``,
+    #: ``stall_window``. Unknown keys raise
+    #: :class:`~repro.exceptions.SpecError`. ``None`` (default) skips the
+    #: replay entirely.
+    netsim: dict | None = None
 
 
 @dataclass
@@ -195,6 +205,59 @@ class MappingResult:
     metadata: dict[str, object]
     profile: dict | None = None
     mapping: object | None = field(default=None, repr=False)  # Mapping | None
+
+
+_NETSIM_KEYS = frozenset({
+    "iterations", "buffer_bytes", "overload_policy", "bandwidth", "alpha",
+    "max_retries", "retry_delay", "retry_backoff", "retry_jitter", "seed",
+    "stall_window",
+})
+
+
+def _netsim_metrics(mapping, knobs: dict) -> dict[str, float]:
+    """DES-replay a mapping per ``MappingRequest.netsim``; return des_* keys.
+
+    The replay mirrors the CLI's buffered evaluation: a Jacobi-style
+    closed-loop app, persistent retransmission when buffered (a final drop
+    would wedge the closed loop), and the tail summary flattened into
+    scalar metrics a golden triple can pin.
+    """
+    from repro.netsim.appsim import IterativeApplication
+    from repro.netsim.simulator import NetworkSimulator
+    from repro.netsim.stats import tail_summary
+
+    unknown = set(knobs) - _NETSIM_KEYS
+    if unknown:
+        raise SpecError(
+            f"unknown MappingRequest.netsim key(s) {sorted(unknown)}; "
+            f"recognized: {sorted(_NETSIM_KEYS)}"
+        )
+    iterations = int(knobs.get("iterations", 2))
+    sim_kwargs = {
+        k: knobs[k]
+        for k in ("buffer_bytes", "overload_policy", "bandwidth", "alpha",
+                  "max_retries", "retry_delay", "retry_backoff",
+                  "retry_jitter", "seed", "stall_window")
+        if k in knobs
+    }
+    if knobs.get("buffer_bytes") is not None:
+        sim_kwargs.setdefault("max_retries", 64)
+        sim_kwargs["unroutable_policy"] = "drop"
+    sim = NetworkSimulator(mapping.topology, **sim_kwargs)
+    app = IterativeApplication(mapping, sim, iterations=iterations)
+    result = app.run()
+    tail = tail_summary(sim, iteration_times=result.iteration_times)
+    return {
+        "des_makespan_us": result.total_time,
+        "des_p50_us": tail["latency"]["p50"],
+        "des_p99_us": tail["latency"]["p99"],
+        "des_p999_us": tail["latency"]["p999"],
+        "des_delivered": float(tail["delivered"]),
+        "des_dropped": float(tail["dropped"]),
+        "des_retransmits": float(tail["retransmits"]),
+        "des_buffer_drops": float(tail["buffer_drops"]),
+        "des_ecn_marks": float(tail["ecn_marks"]),
+    }
 
 
 # --------------------------------------------------------------------- engine
@@ -282,6 +345,10 @@ class MappingEngine:
                 metrics["flow_makespan_lower_bound_us"] = (
                     flow.makespan_lower_bound
                 )
+
+            if request.netsim is not None:
+                with obs.timer("engine.netsim"):
+                    metrics.update(_netsim_metrics(mapping, request.netsim))
 
             if request.validate != "off":
                 from repro.validate import validate_mapping

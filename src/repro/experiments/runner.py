@@ -84,6 +84,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "objectives": supplementary.run_objectives,
     "scaling": supplementary.run_scaling,
     "flowcheck": supplementary.run_flowcheck,
+    "tailcheck": supplementary.run_tailcheck,
 }
 
 #: Environment hook for fault-injection testing (CI exercises it): a

@@ -19,8 +19,18 @@ in. This package provides the equivalent machinery:
 """
 
 from repro.netsim.eventqueue import EventQueue
-from repro.netsim.messages import Message, MessageStats
-from repro.netsim.simulator import NetworkSimulator, LinkModel, RoutingPolicy
+from repro.netsim.messages import (
+    Message,
+    MessageStats,
+    SIZE_CLASS_EDGES,
+    size_class_label,
+)
+from repro.netsim.simulator import (
+    NetworkSimulator,
+    LinkModel,
+    RoutingPolicy,
+    OverloadPolicy,
+)
 from repro.netsim.appsim import IterativeApplication, AppResult
 from repro.netsim.traffic import make_pattern, run_open_loop, OpenLoopResult
 from repro.netsim.trace import ApplicationTrace, TracePhase, TraceReplayer, jacobi_trace
@@ -31,16 +41,19 @@ from repro.netsim.collectives import (
     simulate_broadcast,
     simulate_reduce,
 )
-from repro.netsim.stats import summarize_latencies, link_utilization
+from repro.netsim.stats import summarize_latencies, link_utilization, tail_summary
 from repro.netsim.flow import FlowResult, flow_evaluate, flow_summary, spearman
 
 __all__ = [
     "EventQueue",
     "Message",
     "MessageStats",
+    "SIZE_CLASS_EDGES",
+    "size_class_label",
     "NetworkSimulator",
     "LinkModel",
     "RoutingPolicy",
+    "OverloadPolicy",
     "IterativeApplication",
     "AppResult",
     "make_pattern",
@@ -57,6 +70,7 @@ __all__ = [
     "simulate_allreduce",
     "summarize_latencies",
     "link_utilization",
+    "tail_summary",
     "FlowResult",
     "flow_evaluate",
     "flow_summary",

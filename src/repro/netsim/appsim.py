@@ -45,6 +45,21 @@ class AppResult:
         """Average wall-clock (simulated) time per iteration, us."""
         return self.total_time / self.iterations if self.iterations else 0.0
 
+    @property
+    def iteration_times(self) -> np.ndarray:
+        """Per-iteration durations (us): the barrier-synchronized tails.
+
+        Each entry is the time between consecutive global iteration
+        completions — the quantity a bulk-synchronous application actually
+        waits on, dominated by the slowest message of the round. The tail of
+        this distribution (not the mean message latency) is where contention
+        hurts; :func:`repro.netsim.stats.tail_summary` reports it.
+        """
+        if len(self.iteration_finish_times) == 0:
+            return np.zeros(0, dtype=np.float64)
+        return np.diff(self.iteration_finish_times,
+                       prepend=0.0).astype(np.float64)
+
 
 class IterativeApplication:
     """Jacobi-style compute/communicate loop over a mapped task graph.

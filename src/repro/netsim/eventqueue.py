@@ -52,17 +52,37 @@ class EventQueue:
         heapq.heappush(self._heap, (float(time), self._seq, callback))
         self._seq += 1
 
-    def run(self, max_events: int | None = None) -> float:
-        """Fire events until the queue drains (or ``max_events``); return final time."""
+    def run(self, max_events: int | None = None,
+            until: float | None = None) -> float:
+        """Fire events until the queue drains; return the final time.
+
+        ``max_events`` bounds how many events fire; ``until`` is a simulation
+        deadline — events scheduled strictly after it stay queued, and the
+        clock advances to ``until`` so a caller can drain a runaway
+        simulation in bounded slices (the watchdog discipline: run to a
+        deadline, inspect progress, decide whether to continue). Both limits
+        may be combined; whichever trips first stops the run.
+        """
         fired = 0
         while self._heap:
             if max_events is not None and fired >= max_events:
+                break
+            if until is not None and self._heap[0][0] > until:
                 break
             time, _seq, callback = heapq.heappop(self._heap)
             self._now = time
             self._processed += 1
             fired += 1
             callback()
+        if (
+            until is not None
+            and self._now < until
+            and (not self._heap or self._heap[0][0] > until)
+        ):
+            # Nothing left at or before the deadline: the interval is quiet,
+            # so the clock legitimately advances to it (not past a pending
+            # event — a max_events stop with earlier work queued stays put).
+            self._now = until
         return self._now
 
     def step(self) -> bool:

@@ -6,7 +6,24 @@ import dataclasses
 
 import numpy as np
 
-__all__ = ["Message", "MessageStats"]
+__all__ = ["Message", "MessageStats", "SIZE_CLASS_EDGES", "size_class_label"]
+
+#: Upper edges (bytes, inclusive) of the message-size classes tail latencies
+#: are bucketed by; traffic above the last edge lands in the open top class.
+SIZE_CLASS_EDGES: tuple[float, ...] = (1024.0, 16384.0, 262144.0)
+
+
+def size_class_label(index: int,
+                     edges: tuple[float, ...] = SIZE_CLASS_EDGES) -> str:
+    """Stable printable name of size class ``index`` (e.g. ``"<=16KiB"``)."""
+    def _fmt(bytes_: float) -> str:
+        if bytes_ >= 1024.0 and bytes_ % 1024.0 == 0:
+            return f"{int(bytes_ // 1024)}KiB"
+        return f"{int(bytes_)}B"
+
+    if index < len(edges):
+        return f"<={_fmt(edges[index])}"
+    return f">{_fmt(edges[-1])}"
 
 
 @dataclasses.dataclass
@@ -24,11 +41,16 @@ class Message:
     send_time: float
     deliver_time: float | None = None
     hops: int = 0
-    #: end-to-end retransmissions so far (fault injection; see simulator)
+    #: end-to-end retransmissions so far (fault injection and buffer
+    #: overflows; see simulator)
     attempts: int = 0
-    #: True once the simulator gave up on the message (faults; never set
-    #: under the default unroutable_policy="raise")
+    #: True once the simulator gave up on the message (faults or exhausted
+    #: overflow retries; never set under the default
+    #: unroutable_policy="raise")
     dropped: bool = False
+    #: ECN congestion-experienced mark: set when the message was queued past
+    #: a finite link buffer's marking threshold (overload_policy="ecn")
+    ecn_marked: bool = False
     #: transient flag: a fault hit this message's current link; consumed by
     #: the next already-scheduled progression event
     faulted: bool = dataclasses.field(default=False, repr=False, compare=False)
@@ -42,18 +64,47 @@ class Message:
 
 
 class MessageStats:
-    """Streaming accumulator of delivered-message latencies and volume."""
+    """Streaming accumulator of delivered-message latencies and volume.
+
+    Besides the seed-era aggregates (count, bytes, hops-per-byte, mean/max
+    latency) this tracks everything the finite-buffer tail-latency report
+    needs: per-message sizes (for size-class percentiles), end-to-end
+    retransmissions, buffer-overflow drop events, final drops, and ECN
+    marks. All counters update in event order, so two runs with the same
+    seed produce bit-identical snapshots (the determinism guard in
+    ``tests/netsim/test_buffered.py``).
+    """
 
     def __init__(self):
         self._latencies: list[float] = []
+        self._sizes: list[float] = []
         self._hop_bytes = 0.0
         self._bytes = 0.0
+        #: delivered messages that carried an ECN mark
+        self.ecn_delivered = 0
+        #: ECN marks applied at enqueue time (mark rate = marks / enqueues)
+        self.ecn_marks = 0
+        #: end-to-end retransmissions scheduled (buffer overflows + faults)
+        self.retransmits = 0
+        #: tail-drop events at a full finite buffer (each may retransmit)
+        self.buffer_drops = 0
+        #: messages the simulator finally gave up on
+        self.dropped = 0
+        self.dropped_bytes = 0.0
 
     def record(self, message: Message) -> None:
         """Account one delivered message."""
         self._latencies.append(message.latency)
+        self._sizes.append(message.size_bytes)
         self._bytes += message.size_bytes
         self._hop_bytes += message.size_bytes * message.hops
+        if message.ecn_marked:
+            self.ecn_delivered += 1
+
+    def record_drop(self, message: Message) -> None:
+        """Account one finally-dropped (undeliverable) message."""
+        self.dropped += 1
+        self.dropped_bytes += message.size_bytes
 
     @property
     def count(self) -> int:
@@ -74,6 +125,10 @@ class MessageStats:
         """Delivered latencies as an array (microseconds)."""
         return np.asarray(self._latencies, dtype=np.float64)
 
+    def sizes(self) -> np.ndarray:
+        """Delivered message sizes as an array (bytes), latency-aligned."""
+        return np.asarray(self._sizes, dtype=np.float64)
+
     @property
     def mean_latency(self) -> float:
         """Mean delivered latency in microseconds."""
@@ -85,3 +140,68 @@ class MessageStats:
         """Worst delivered latency in microseconds."""
         lat = self.latencies()
         return float(lat.max()) if len(lat) else 0.0
+
+    # ------------------------------------------------------------------ tails
+    def percentiles(self, qs: tuple[float, ...] = (50.0, 99.0, 99.9)) -> dict:
+        """Latency percentiles over all delivered traffic (microseconds)."""
+        lat = self.latencies()
+        if len(lat) == 0:
+            return {f"p{_q_label(q)}": 0.0 for q in qs}
+        return {
+            f"p{_q_label(q)}": float(np.percentile(lat, q)) for q in qs
+        }
+
+    def class_summary(
+        self, edges: tuple[float, ...] = SIZE_CLASS_EDGES
+    ) -> list[dict]:
+        """Per-size-class tail summary: one row per *occupied* class.
+
+        Barrier-synchronized applications feel the worst class, not the
+        mean — this is the table the ``tailcheck`` experiment and the
+        profile's ``netsim.tail.classes`` section report.
+        """
+        lat = self.latencies()
+        if len(lat) == 0:
+            return []
+        sizes = self.sizes()
+        buckets = np.digitize(sizes, np.asarray(edges, dtype=np.float64),
+                              right=True)
+        rows = []
+        for index in range(len(edges) + 1):
+            mask = buckets == index
+            n = int(mask.sum())
+            if n == 0:
+                continue
+            class_lat = lat[mask]
+            rows.append({
+                "class": size_class_label(index, edges),
+                "count": n,
+                "p50": float(np.percentile(class_lat, 50)),
+                "p99": float(np.percentile(class_lat, 99)),
+                "p999": float(np.percentile(class_lat, 99.9)),
+                "max": float(class_lat.max()),
+            })
+        return rows
+
+    def snapshot(self) -> dict:
+        """All aggregates as one JSON-able dict (bit-identical per seed)."""
+        return {
+            "delivered": self.count,
+            "total_bytes": self._bytes,
+            "hop_bytes": self._hop_bytes,
+            "dropped": self.dropped,
+            "dropped_bytes": self.dropped_bytes,
+            "retransmits": self.retransmits,
+            "buffer_drops": self.buffer_drops,
+            "ecn_marks": self.ecn_marks,
+            "ecn_delivered": self.ecn_delivered,
+            "latencies": list(self._latencies),
+            "sizes": list(self._sizes),
+        }
+
+
+def _q_label(q: float) -> str:
+    """``50.0 -> "50"``, ``99.9 -> "999"`` (percentile key spelling)."""
+    if float(q).is_integer():
+        return str(int(q))
+    return str(q).replace(".", "")

@@ -25,8 +25,11 @@ network for a fixed small ``local_latency``.
 from __future__ import annotations
 
 import enum
+import math
 from collections import deque
 from collections.abc import Callable
+
+import numpy as np
 
 from repro import obs
 from repro.exceptions import SimulationError
@@ -34,7 +37,13 @@ from repro.netsim.eventqueue import EventQueue
 from repro.netsim.messages import Message, MessageStats
 from repro.topology.base import Topology
 
-__all__ = ["LinkModel", "RoutingPolicy", "NetworkSimulator", "channel_name"]
+__all__ = [
+    "LinkModel",
+    "RoutingPolicy",
+    "OverloadPolicy",
+    "NetworkSimulator",
+    "channel_name",
+]
 
 
 def channel_name(channel: tuple) -> str:
@@ -69,11 +78,39 @@ class RoutingPolicy(enum.Enum):
     ADAPTIVE = "adaptive"
 
 
+class OverloadPolicy(enum.Enum):
+    """What a finite link buffer does when offered more than it can hold.
+
+    Only consulted when ``buffer_bytes`` is set; the default infinite-buffer
+    model never overloads.
+
+    * ``DROP`` — tail-drop: a message arriving at a full buffer is discarded
+      at that hop and retransmitted end-to-end after an exponential backoff
+      (the fault-recovery knobs ``retry_delay`` / ``retry_backoff`` /
+      ``max_retries`` / ``retry_timeout`` govern the schedule; an optional
+      seeded ``retry_jitter`` desynchronizes colliding retransmits).
+    * ``ECN`` — tail-drop at a *full* buffer as above, but additionally mark
+      messages queued past ``ecn_threshold`` occupancy; once a sender sees a
+      marked delivery for a flow it multiplicatively stretches that flow's
+      inter-injection gap (minimal AIMD: multiply by ``ecn_backoff`` per
+      mark, recover additively by ``ecn_recover`` per unmarked delivery).
+    * ``CREDIT`` — hop-by-hop credit flow control: a hop may only start
+      forwarding when the downstream buffer has reserved room for the whole
+      message, so backpressure propagates upstream and nothing is ever
+      dropped. Injection at a full first hop waits for credit too.
+    """
+
+    DROP = "drop"
+    ECN = "ecn"
+    CREDIT = "credit"
+
+
 class _Link:
     """FIFO transmission state of one directed link."""
 
     __slots__ = ("busy", "queue", "busy_time", "bytes_carried", "max_queue",
-                 "saturated", "current")
+                 "saturated", "current", "buffered_bytes", "reserved",
+                 "blocked", "waiters", "entry_wait")
 
     def __init__(self):
         self.busy = False
@@ -83,6 +120,12 @@ class _Link:
         self.max_queue = 0        # deepest FIFO backlog ever seen
         self.saturated = False    # currently past the saturation threshold
         self.current = None       # in-flight (msg, route, hop, cb), for faults
+        # Finite-buffer state (untouched when buffer_bytes is None):
+        self.buffered_bytes = 0.0   # bytes sitting in this link's input queue
+        self.reserved = 0.0         # credit mode: bytes promised to upstream
+        self.blocked = None         # credit mode: head waiting for downstream
+        self.waiters: deque = deque()     # upstream channels awaiting credit
+        self.entry_wait: deque = deque()  # injections awaiting first-hop room
 
 
 class NetworkSimulator:
@@ -118,6 +161,33 @@ class NetworkSimulator:
         retries exhausted, retry timeout): ``"raise"`` (default) surfaces a
         :class:`~repro.exceptions.SimulationError`; ``"drop"`` marks the
         message dropped and counts ``netsim.dropped``.
+    buffer_bytes / overload_policy:
+        Per-link input buffer capacity in bytes. ``None`` (default) keeps
+        the seed model's unbounded FIFO queues — bit-identical event
+        ordering, zero behavior drift. When set, a link whose queue already
+        holds ``buffer_bytes`` of payload overloads, and
+        :class:`OverloadPolicy` decides what happens: ``"drop"`` (tail-drop
+        + end-to-end retransmit), ``"ecn"`` (mark past ``ecn_threshold``
+        occupancy, marked flows stretch their injection gap by
+        ``ecn_backoff`` up to ``ecn_max_stretch`` and recover by
+        ``ecn_recover``; still tail-drops at completely full), or
+        ``"credit"`` (hop-by-hop credit flow control — lossless, but
+        incompatible with fault injection, and wrap rings can deadlock:
+        the run-end drain check reports a wedge instead of hanging).
+        NIC channels are treated as infinitely buffered (the endpoint
+        memory is the buffer).
+    retry_jitter / seed:
+        Overload retransmits wait ``retry_delay * retry_backoff**k``
+        multiplied by ``1 + retry_jitter * U[0, 1)`` — the uniform draw
+        comes from a generator seeded with ``seed``, and because event
+        order is deterministic the whole schedule replays bit-identically
+        for the same seed.
+    stall_window:
+        Livelock watchdog: when set, :meth:`run` arms a periodic check and
+        raises :class:`~repro.exceptions.SimulationError` naming the oldest
+        undelivered message if no delivery progress (deliveries + final
+        drops) happened for a full window while events kept firing — so a
+        drop/retry loop cannot spin forever.
 
     Fault injection is deterministic: :meth:`schedule_link_failure` and
     :meth:`schedule_node_failure` go through the event queue, and recovery
@@ -150,6 +220,15 @@ class NetworkSimulator:
         retry_backoff: float = 2.0,
         retry_timeout: float | None = None,
         unroutable_policy: str = "raise",
+        buffer_bytes: float | None = None,
+        overload_policy: OverloadPolicy | str = OverloadPolicy.DROP,
+        ecn_threshold: float = 0.5,
+        ecn_backoff: float = 2.0,
+        ecn_recover: float = 0.25,
+        ecn_max_stretch: float = 64.0,
+        retry_jitter: float = 0.0,
+        seed: int = 0,
+        stall_window: float | None = None,
     ):
         if bandwidth <= 0:
             raise SimulationError(f"bandwidth must be positive, got {bandwidth}")
@@ -191,6 +270,43 @@ class NetworkSimulator:
                 f"unroutable_policy must be 'raise' or 'drop', "
                 f"got {unroutable_policy!r}"
             )
+        if buffer_bytes is not None and (
+            not math.isfinite(float(buffer_bytes)) or buffer_bytes <= 0
+        ):
+            raise SimulationError(
+                f"buffer_bytes must be positive and finite, got {buffer_bytes}"
+            )
+        try:
+            overload_policy = OverloadPolicy(overload_policy)
+        except ValueError:
+            raise SimulationError(
+                f"overload_policy must be one of "
+                f"{[p.value for p in OverloadPolicy]}, got {overload_policy!r}"
+            ) from None
+        if not 0.0 < ecn_threshold <= 1.0:
+            raise SimulationError(
+                f"ecn_threshold must be in (0, 1], got {ecn_threshold}"
+            )
+        if ecn_backoff < 1.0:
+            raise SimulationError(
+                f"ecn_backoff must be >= 1.0, got {ecn_backoff}"
+            )
+        if ecn_recover < 0.0:
+            raise SimulationError(
+                f"ecn_recover must be >= 0, got {ecn_recover}"
+            )
+        if ecn_max_stretch < 1.0:
+            raise SimulationError(
+                f"ecn_max_stretch must be >= 1.0, got {ecn_max_stretch}"
+            )
+        if retry_jitter < 0.0:
+            raise SimulationError(
+                f"retry_jitter must be >= 0, got {retry_jitter}"
+            )
+        if stall_window is not None and stall_window <= 0:
+            raise SimulationError(
+                f"stall_window must be positive, got {stall_window}"
+            )
         self._topology = topology
         self._bandwidth = float(bandwidth)
         # Heterogeneous machines: per-directed-link overrides of the default
@@ -222,6 +338,35 @@ class NetworkSimulator:
         self._unroutable_policy = unroutable_policy
         self._failed_channels: set[tuple] = set()
         self._failed_nodes: set[int] = set()
+        # Finite-buffer / overload state. Every code path below is gated on
+        # buffer_bytes being set (or the specific policy), so the default
+        # None configuration replays the seed model bit-for-bit.
+        self._buffer_bytes = None if buffer_bytes is None else float(buffer_bytes)
+        self._overload = overload_policy
+        self._ecn = (
+            self._buffer_bytes is not None
+            and overload_policy is OverloadPolicy.ECN
+        )
+        self._credit = (
+            self._buffer_bytes is not None
+            and overload_policy is OverloadPolicy.CREDIT
+        )
+        self._ecn_threshold = float(ecn_threshold)
+        self._ecn_backoff = float(ecn_backoff)
+        self._ecn_recover = float(ecn_recover)
+        self._ecn_max_stretch = float(ecn_max_stretch)
+        self._retry_jitter = float(retry_jitter)
+        self._seed = int(seed)
+        self._rng = None  # lazily built np.random.Generator for retry jitter
+        # Per-flow AIMD pacing state: (src, dst) -> [stretch, next_free_time].
+        self._flows: dict[tuple[int, int], list[float]] = {}
+        # Every message from send() until delivery or final drop; lets the
+        # watchdog name the oldest stuck message and the drain check detect
+        # wedges (queue empty but traffic undelivered).
+        self._inflight: dict[int, Message] = {}
+        self._stall_window = None if stall_window is None else float(stall_window)
+        self._watch_mark = -1
+        self._watchdog_armed = False
 
     # ------------------------------------------------------------------ misc
     @property
@@ -238,6 +383,21 @@ class NetworkSimulator:
     def now(self) -> float:
         """Current simulation time in microseconds."""
         return self.queue.now
+
+    @property
+    def buffer_bytes(self) -> float | None:
+        """Per-link buffer capacity; None means the unbounded seed model."""
+        return self._buffer_bytes
+
+    @property
+    def overload_policy(self) -> OverloadPolicy:
+        """Active :class:`OverloadPolicy` (meaningful when buffered)."""
+        return self._overload
+
+    @property
+    def in_flight(self) -> int:
+        """Messages sent but not yet delivered or finally dropped."""
+        return len(self._inflight)
 
     def _route(self, src: int, dst: int) -> list[tuple]:
         """Channel sequence for src -> dst: [NIC out], links..., [NIC in].
@@ -355,6 +515,7 @@ class NetworkSimulator:
         send_time = self.queue.now if at is None else float(at)
         msg = Message(self._next_id, int(src), int(dst), float(size_bytes), send_time)
         self._next_id += 1
+        self._inflight[msg.msg_id] = msg
         if self._prof is not None:
             self._prof.count("netsim.messages")
             if msg.src == msg.dst:
@@ -373,6 +534,26 @@ class NetworkSimulator:
         return msg
 
     def _inject(self, msg: Message, on_delivery) -> None:
+        if self._ecn:
+            # AIMD pacing, decided at the injection instant (so the flow
+            # state reflects deliveries seen so far): a flow that saw
+            # ECN-marked deliveries spaces its injections by
+            # stretch * serialization time; unmarked flows are untouched.
+            state = self._flows.get((msg.src, msg.dst))
+            if state is not None and state[0] > 1.0:
+                now = self.queue.now
+                free = max(now, state[1])
+                state[1] = free + state[0] * msg.size_bytes / self._bandwidth
+                if free > now:
+                    if self._prof is not None:
+                        self._prof.count("netsim.ecn_paced")
+                    self.queue.schedule(
+                        free, lambda: self._inject_route(msg, on_delivery)
+                    )
+                    return
+        self._inject_route(msg, on_delivery)
+
+    def _inject_route(self, msg: Message, on_delivery) -> None:
         route = self._route(msg.src, msg.dst)
         msg.hops = sum(1 for ch in route if not isinstance(ch[0], str))
         self._head_arrival(msg, route, 0, on_delivery)
@@ -390,28 +571,62 @@ class NetworkSimulator:
             self._on_fault(msg, on_delivery)
             return
         link = self._link(route[hop])
+        # NIC channels stay unbounded even under finite link buffers: the
+        # endpoint's memory is the buffer.
+        if self._buffer_bytes is not None and not isinstance(route[hop][0], str):
+            if self._credit:
+                self._credit_arrival(link, msg, route, hop, on_delivery)
+            elif link.busy:
+                size = msg.size_bytes
+                if link.buffered_bytes + size > self._buffer_bytes:
+                    self._on_overflow(msg, route, hop, on_delivery)
+                    return
+                if (
+                    self._ecn
+                    and not msg.ecn_marked
+                    and link.buffered_bytes + size
+                    >= self._ecn_threshold * self._buffer_bytes
+                ):
+                    msg.ecn_marked = True
+                    self.stats.ecn_marks += 1
+                    if self._prof is not None:
+                        self._prof.count("netsim.ecn_marks")
+                link.buffered_bytes += size
+                self._enqueue(link, msg, route, hop, on_delivery)
+            else:
+                self._start_transmission(link, msg, route, hop, on_delivery)
+            return
         if link.busy:
-            link.queue.append((msg, route, hop, on_delivery))
-            depth = len(link.queue)
-            if depth > link.max_queue:
-                link.max_queue = depth
-            if self._prof is not None:
-                self._prof.count("netsim.enqueues")
-                self._prof.count_max("netsim.max_queue_depth", depth)
-                if depth >= self._saturation_depth and not link.saturated:
-                    link.saturated = True
-                    self._prof.count("netsim.saturation_events")
-                    self._prof.event(
-                        "netsim.link_saturated",
-                        time_us=self.queue.now,
-                        link=channel_name(route[hop]),
-                        depth=depth,
-                    )
+            self._enqueue(link, msg, route, hop, on_delivery)
         else:
             self._start_transmission(link, msg, route, hop, on_delivery)
 
+    def _enqueue(self, link: _Link, msg: Message, route, hop: int,
+                 on_delivery) -> None:
+        """Append to a busy link's FIFO with depth/saturation bookkeeping."""
+        link.queue.append((msg, route, hop, on_delivery))
+        depth = len(link.queue)
+        if depth > link.max_queue:
+            link.max_queue = depth
+        if self._prof is not None:
+            self._prof.count("netsim.enqueues")
+            self._prof.count_max("netsim.max_queue_depth", depth)
+            if depth >= self._saturation_depth and not link.saturated:
+                link.saturated = True
+                self._prof.count("netsim.saturation_events")
+                self._prof.event(
+                    "netsim.link_saturated",
+                    time_us=self.queue.now,
+                    link=channel_name(route[hop]),
+                    depth=depth,
+                )
+
     def _start_transmission(self, link: _Link, msg: Message, route, hop: int,
                             on_delivery) -> None:
+        if self._credit and not self._reserve_downstream(
+            link, msg, route, hop, on_delivery
+        ):
+            return  # head blocked awaiting downstream credit
         now = self.queue.now
         channel = route[hop]
         is_nic = isinstance(channel[0], str)
@@ -451,9 +666,168 @@ class NetworkSimulator:
         link.current = None
         if link.queue:
             msg, route, hop, on_delivery = link.queue.popleft()
+            if self._buffer_bytes is not None:
+                link.buffered_bytes -= msg.size_bytes
             self._start_transmission(link, msg, route, hop, on_delivery)
         else:
             link.saturated = False
+        if self._credit:
+            # Room opened up (head left the queue, or the wire went idle):
+            # admit waiting injections and grant credit to upstream heads.
+            self._credit_wake(link)
+
+    # ------------------------------------------------------ finite buffers
+    def _on_overflow(self, msg: Message, route, hop: int, on_delivery) -> None:
+        """Tail-drop at a full buffer; retransmit end-to-end with backoff."""
+        now = self.queue.now
+        self.stats.buffer_drops += 1
+        if self._prof is not None:
+            self._prof.count("netsim.buffer_drops")
+        if msg.attempts >= self._max_retries:
+            self._drop(
+                msg,
+                f"buffer overflow at link {channel_name(route[hop])}: "
+                f"retries exhausted after {msg.attempts} attempts",
+            )
+            return
+        delay = self._retry_delay * self._retry_backoff ** msg.attempts
+        if self._retry_jitter:
+            if self._rng is None:
+                self._rng = np.random.default_rng(self._seed)
+            delay *= 1.0 + self._retry_jitter * float(self._rng.random())
+        if (
+            self._retry_timeout is not None
+            and (now + delay) - msg.send_time > self._retry_timeout
+        ):
+            self._drop(
+                msg,
+                f"retry timeout exceeded ({self._retry_timeout} us since send)",
+            )
+            return
+        msg.attempts += 1
+        self.stats.retransmits += 1
+        if self._prof is not None:
+            self._prof.count("netsim.retransmits")
+        self.queue.schedule(now + delay, lambda: self._inject(msg, on_delivery))
+
+    def _credit_arrival(self, link: _Link, msg: Message, route, hop: int,
+                        on_delivery) -> None:
+        """Head reached a finite-buffered link under credit flow control.
+
+        An arrival off a *network* link was reserved by the upstream hop
+        before it started transmitting, so it always fits — the reservation
+        converts into queue occupancy (or frees up entirely if the wire is
+        idle). Injections and arrivals off a NIC channel hold no
+        reservation: they are admitted only while room remains, and
+        otherwise wait in ``entry_wait`` for credit.
+        """
+        size = msg.size_bytes
+        reserved = hop > 0 and not isinstance(route[hop - 1][0], str)
+        if reserved:
+            link.reserved -= size
+            if link.busy:
+                # Reservation becomes buffer occupancy: net room unchanged.
+                link.buffered_bytes += size
+                self._enqueue(link, msg, route, hop, on_delivery)
+            else:
+                self._start_transmission(link, msg, route, hop, on_delivery)
+                # The freed reservation is room other traffic can claim.
+                self._credit_wake(link)
+            return
+        if not link.busy:
+            self._start_transmission(link, msg, route, hop, on_delivery)
+        elif link.buffered_bytes + link.reserved + size <= self._buffer_bytes:
+            link.buffered_bytes += size
+            self._enqueue(link, msg, route, hop, on_delivery)
+        else:
+            link.entry_wait.append((msg, route, hop, on_delivery))
+            if self._prof is not None:
+                self._prof.count("netsim.injection_stalls")
+
+    def _reserve_downstream(self, link: _Link, msg: Message, route, hop: int,
+                            on_delivery) -> bool:
+        """Claim room for ``msg`` at the next network hop (credit mode).
+
+        Returns True when the transmission may start (room reserved, or the
+        next stage is a NIC/destination with unbounded buffering). On False
+        the link is parked busy with a blocked head and re-woken by
+        :meth:`_credit_wake` when the downstream buffer drains.
+        """
+        channel = route[hop]
+        if hop + 1 >= len(route) or isinstance(channel[0], str):
+            # Last hop delivers into endpoint memory; a NIC injection stage
+            # runs admission at the first network hop's arrival instead.
+            return True
+        nxt = route[hop + 1]
+        if isinstance(nxt[0], str):
+            return True  # destination NIC: unbounded
+        size = msg.size_bytes
+        if size > self._buffer_bytes:
+            raise SimulationError(
+                f"credit flow control cannot forward message {msg.msg_id}: "
+                f"size {size} exceeds buffer_bytes {self._buffer_bytes}"
+            )
+        down = self._link(nxt)
+        if down.buffered_bytes + down.reserved + size <= self._buffer_bytes:
+            down.reserved += size
+            return True
+        # Hold the wire: the head stays at this hop until credit arrives.
+        link.busy = True
+        link.current = None
+        link.blocked = (msg, route, hop, on_delivery)
+        down.waiters.append(channel)
+        if self._prof is not None:
+            self._prof.count("netsim.credit_stalls")
+        return False
+
+    def _credit_wake(self, link: _Link) -> None:
+        """Buffer room opened on ``link``; admit/grant in FIFO order.
+
+        Waiting injections (``entry_wait``) are admitted first, then
+        upstream links whose blocked heads wait for credit here retry their
+        reservations — backpressure releases in the order it built up.
+        """
+        while link.entry_wait:
+            msg, route, hop, cb = link.entry_wait[0]
+            if not link.busy:
+                link.entry_wait.popleft()
+                self._start_transmission(link, msg, route, hop, cb)
+            elif (
+                link.buffered_bytes + link.reserved + msg.size_bytes
+                <= self._buffer_bytes
+            ):
+                link.entry_wait.popleft()
+                link.buffered_bytes += msg.size_bytes
+                self._enqueue(link, msg, route, hop, cb)
+            else:
+                break
+        while link.waiters:
+            upstream = self._links.get(link.waiters[0])
+            if upstream is None or upstream.blocked is None:
+                link.waiters.popleft()  # stale waiter (already released)
+                continue
+            msg, route, hop, cb = upstream.blocked
+            size = msg.size_bytes
+            if link.buffered_bytes + link.reserved + size > self._buffer_bytes:
+                break  # no room yet; keep FIFO order
+            link.waiters.popleft()
+            upstream.blocked = None
+            upstream.busy = False
+            # _start_transmission re-runs _reserve_downstream, which claims
+            # the room we just checked for (nothing ran in between).
+            self._start_transmission(upstream, msg, route, hop, cb)
+
+    def _ecn_update(self, msg: Message) -> None:
+        """AIMD step for the flow of a just-delivered message."""
+        key = (msg.src, msg.dst)
+        state = self._flows.get(key)
+        if msg.ecn_marked:
+            if state is None:
+                state = [1.0, 0.0]
+                self._flows[key] = state
+            state[0] = min(self._ecn_max_stretch, state[0] * self._ecn_backoff)
+        elif state is not None and state[0] > 1.0:
+            state[0] = max(1.0, state[0] - self._ecn_recover)
 
     def _deliver(self, msg: Message, on_delivery) -> None:
         if msg.faulted:
@@ -468,13 +842,34 @@ class NetworkSimulator:
             self._on_fault(msg, on_delivery)
             return
         msg.deliver_time = self.queue.now
+        self._inflight.pop(msg.msg_id, None)
         self.stats.record(msg)
         if self._prof is not None:
             self._prof.count("netsim.delivered")
+        if self._ecn and msg.src != msg.dst:
+            # Update pacing state before the callback so reply traffic the
+            # callback injects sees the new stretch.
+            self._ecn_update(msg)
         if on_delivery is not None:
             on_delivery(msg)
 
     # ------------------------------------------------------------- faults
+    def _check_credit_faults(self) -> None:
+        if self._credit:
+            raise SimulationError(
+                "fault injection is not supported under credit flow control "
+                "(reserved buffer space on a dead link cannot be reclaimed); "
+                "use overload_policy='drop' or 'ecn' for fault studies"
+            )
+
+    def _check_failure_time(self, at: float) -> float:
+        at = float(at)
+        if not math.isfinite(at) or at < 0:
+            raise SimulationError(
+                f"failure time must be finite and >= 0, got {at}"
+            )
+        return at
+
     def _check_link(self, a: int, b: int) -> tuple[int, int]:
         p = self._topology.num_nodes
         if not (0 <= a < p and 0 <= b < p) or b not in self._topology.neighbors(a):
@@ -493,6 +888,7 @@ class NetworkSimulator:
         ``unroutable_policy``. Counted as ``faults.injected`` (one per
         undirected link) when profiling is enabled.
         """
+        self._check_credit_faults()
         a, b = self._check_link(int(a), int(b))
         if (a, b) in self._failed_channels:
             return
@@ -513,6 +909,7 @@ class NetworkSimulator:
         :class:`~repro.exceptions.SimulationError`; "drop" records them and
         counts ``netsim.dropped``).
         """
+        self._check_credit_faults()
         node = int(node)
         p = self._topology.num_nodes
         if not 0 <= node < p:
@@ -532,17 +929,27 @@ class NetworkSimulator:
         self._fail_channel(("nic_in", node))
 
     def schedule_link_failure(self, at: float, a: int, b: int) -> None:
-        """Fail link ``(a, b)`` at simulation time ``at`` (validated now)."""
+        """Fail link ``(a, b)`` at simulation time ``at``.
+
+        Both the endpoints and the failure time are validated *now*, at
+        schedule time, so a typo'd link or a NaN deadline fails fast with a
+        clear :class:`~repro.exceptions.SimulationError` instead of
+        silently never firing (or detonating mid-run).
+        """
+        self._check_credit_faults()
+        at = self._check_failure_time(at)
         a, b = self._check_link(int(a), int(b))
-        self.queue.schedule(float(at), lambda: self.fail_link(a, b))
+        self.queue.schedule(at, lambda: self.fail_link(a, b))
 
     def schedule_node_failure(self, at: float, node: int) -> None:
         """Fail processor ``node`` at simulation time ``at`` (validated now)."""
+        self._check_credit_faults()
+        at = self._check_failure_time(at)
         node = int(node)
         p = self._topology.num_nodes
         if not 0 <= node < p:
             raise SimulationError(f"node {node} out of range [0, {p})")
-        self.queue.schedule(float(at), lambda: self.fail_node(node))
+        self.queue.schedule(at, lambda: self.fail_node(node))
 
     def _fail_channel(self, channel: tuple) -> None:
         """Mark one directed channel failed; evict its traffic."""
@@ -563,6 +970,7 @@ class NetworkSimulator:
         if link.queue:
             pending = list(link.queue)
             link.queue.clear()
+            link.buffered_bytes = 0.0  # evicted with the queue (finite mode)
             for qmsg, _route, _hop, qcb in pending:
                 self._on_fault(qmsg, qcb)
 
@@ -606,6 +1014,7 @@ class NetworkSimulator:
             )
             return
         msg.attempts += 1
+        self.stats.retransmits += 1
         if self._prof is not None:
             self._prof.count("netsim.retries")
         self.queue.schedule(now + delay, lambda: self._inject(msg, on_delivery))
@@ -617,6 +1026,8 @@ class NetworkSimulator:
                 f"undeliverable: {reason}"
             )
         msg.dropped = True
+        self._inflight.pop(msg.msg_id, None)
+        self.stats.record_drop(msg)
         if self._prof is not None:
             self._prof.count("netsim.dropped")
             self._prof.event(
@@ -629,9 +1040,68 @@ class NetworkSimulator:
             )
 
     # ------------------------------------------------------------------- run
-    def run(self, max_events: int | None = None) -> float:
-        """Drain the event queue; return the final simulation time."""
-        end = self.queue.run(max_events)
+    def _progress(self) -> int:
+        """Monotone progress metric: resolved messages so far."""
+        return self.stats.count + self.stats.dropped
+
+    def _oldest_inflight(self) -> Message:
+        return min(
+            self._inflight.values(), key=lambda m: (m.send_time, m.msg_id)
+        )
+
+    def _watchdog_tick(self) -> None:
+        self._watchdog_armed = False
+        if not self._inflight:
+            return  # every message resolved; the watchdog retires
+        progress = self._progress()
+        if progress == self._watch_mark and self.queue.pending > 0:
+            oldest = self._oldest_inflight()
+            raise SimulationError(
+                f"livelock: no delivery progress for {self._stall_window} us "
+                f"({len(self._inflight)} message(s) in flight); oldest is "
+                f"message {oldest.msg_id} ({oldest.src} -> {oldest.dst}, "
+                f"sent at t={oldest.send_time}, attempts={oldest.attempts})"
+            )
+        if self.queue.pending == 0:
+            return  # nothing scheduled; the post-run drain check reports wedges
+        self._watch_mark = progress
+        self._watchdog_armed = True
+        self.queue.schedule(self.queue.now + self._stall_window,
+                            self._watchdog_tick)
+
+    def run(self, max_events: int | None = None,
+            until: float | None = None) -> float:
+        """Drain the event queue; return the final simulation time.
+
+        ``max_events`` / ``until`` bound the run (events / a simulation-time
+        deadline); with a ``stall_window`` configured the livelock watchdog
+        is armed for the duration. After the queue drains, a wedge check
+        (credit mode, or any run with a stall window) raises if messages
+        remain undelivered with no event left to make progress — e.g. a
+        credit deadlock on a torus wrap ring.
+        """
+        if (
+            self._stall_window is not None
+            and not self._watchdog_armed
+            and self.queue.pending > 0
+        ):
+            self._watch_mark = self._progress()
+            self._watchdog_armed = True
+            self.queue.schedule(self.queue.now + self._stall_window,
+                                self._watchdog_tick)
+        end = self.queue.run(max_events, until=until)
+        if (
+            self._inflight
+            and self.queue.pending == 0
+            and (self._credit or self._stall_window is not None)
+        ):
+            oldest = self._oldest_inflight()
+            raise SimulationError(
+                f"simulation wedged: event queue drained with "
+                f"{len(self._inflight)} undelivered message(s); oldest is "
+                f"message {oldest.msg_id} ({oldest.src} -> {oldest.dst}, "
+                f"sent at t={oldest.send_time}, attempts={oldest.attempts})"
+            )
         if self._prof is not None and self._links:
             # Per-run load summary so profiles capture link telemetry even
             # when the caller never touches the simulator again (e.g. the

@@ -6,7 +6,8 @@ import numpy as np
 
 from repro.netsim.simulator import NetworkSimulator, channel_name
 
-__all__ = ["summarize_latencies", "link_utilization", "link_summary"]
+__all__ = ["summarize_latencies", "link_utilization", "link_summary",
+           "tail_summary"]
 
 
 def summarize_latencies(sim: NetworkSimulator) -> dict[str, float]:
@@ -40,6 +41,49 @@ def link_utilization(sim: NetworkSimulator) -> dict[str, float]:
         "mean": float(util.mean()),
         "max": float(util.max()),
     }
+
+
+def tail_summary(sim: NetworkSimulator,
+                 iteration_times=None) -> dict:
+    """Tail-latency report of one simulation — the overload scorecard.
+
+    Returns a JSON-able dict with overall delivery percentiles
+    (p50/p99/p999), per-size-class percentile rows, drop/retransmit/ECN
+    counters, and (when ``iteration_times`` from an
+    :class:`~repro.netsim.appsim.AppResult` is given) the
+    barrier-synchronized iteration-tail distribution. This is the payload
+    embedded as the profile's ``netsim.tail`` section and rendered by
+    ``--stats``.
+    """
+    stats = sim.stats
+    pct = stats.percentiles()
+    out = {
+        "delivered": int(stats.count),
+        "dropped": int(stats.dropped),
+        "retransmits": int(stats.retransmits),
+        "buffer_drops": int(stats.buffer_drops),
+        "ecn_marks": int(stats.ecn_marks),
+        "ecn_delivered": int(stats.ecn_delivered),
+        "latency": {
+            "p50": pct["p50"],
+            "p99": pct["p99"],
+            "p999": pct["p999"],
+            "mean": stats.mean_latency,
+            "max": stats.max_latency,
+        },
+        "classes": stats.class_summary(),
+    }
+    if iteration_times is not None:
+        its = np.asarray(iteration_times, dtype=np.float64)
+        if len(its):
+            out["iterations"] = {
+                "count": int(len(its)),
+                "p50": float(np.percentile(its, 50)),
+                "p99": float(np.percentile(its, 99)),
+                "max": float(its.max()),
+                "mean": float(its.mean()),
+            }
+    return out
 
 
 def link_summary(sim: NetworkSimulator, top: int = 10) -> dict:

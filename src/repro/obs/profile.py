@@ -114,6 +114,61 @@ PROFILE_SCHEMA: dict[str, Any] = {
                         },
                     },
                 },
+                # Tail-latency report of a finite-buffer (or any DES) run,
+                # as produced by repro.netsim.stats.tail_summary.
+                "tail": {
+                    "type": "object",
+                    "required": ["delivered", "latency"],
+                    "additionalProperties": False,
+                    "properties": {
+                        "delivered": {"type": "integer", "minimum": 0},
+                        "dropped": {"type": "integer", "minimum": 0},
+                        "retransmits": {"type": "integer", "minimum": 0},
+                        "buffer_drops": {"type": "integer", "minimum": 0},
+                        "ecn_marks": {"type": "integer", "minimum": 0},
+                        "ecn_delivered": {"type": "integer", "minimum": 0},
+                        "latency": {
+                            "type": "object",
+                            "required": ["p50", "p99", "p999"],
+                            "additionalProperties": False,
+                            "properties": {
+                                "p50": {"type": "number", "minimum": 0},
+                                "p99": {"type": "number", "minimum": 0},
+                                "p999": {"type": "number", "minimum": 0},
+                                "mean": {"type": "number", "minimum": 0},
+                                "max": {"type": "number", "minimum": 0},
+                            },
+                        },
+                        "classes": {
+                            "type": "array",
+                            "items": {
+                                "type": "object",
+                                "required": ["class", "count"],
+                                "additionalProperties": False,
+                                "properties": {
+                                    "class": {"type": "string"},
+                                    "count": {"type": "integer", "minimum": 0},
+                                    "p50": {"type": "number", "minimum": 0},
+                                    "p99": {"type": "number", "minimum": 0},
+                                    "p999": {"type": "number", "minimum": 0},
+                                    "max": {"type": "number", "minimum": 0},
+                                },
+                            },
+                        },
+                        "iterations": {
+                            "type": "object",
+                            "required": ["count"],
+                            "additionalProperties": False,
+                            "properties": {
+                                "count": {"type": "integer", "minimum": 0},
+                                "p50": {"type": "number", "minimum": 0},
+                                "p99": {"type": "number", "minimum": 0},
+                                "max": {"type": "number", "minimum": 0},
+                                "mean": {"type": "number", "minimum": 0},
+                            },
+                        },
+                    },
+                },
             },
         },
         "context": {"type": "object"},
@@ -294,6 +349,34 @@ def summarize_profile(profile: dict[str, Any]) -> str:
                 lines.append(
                     f"    {entry['link']:<16} {entry['bytes']:>12.6g}"
                     f"  {tail:>10.4g}"
+                )
+        tail_block = netsim.get("tail")
+        if tail_block:
+            lat = tail_block["latency"]
+            lines.append(
+                f"  tail: {tail_block['delivered']} delivered, latency "
+                f"p50={lat['p50']:.6g} p99={lat['p99']:.6g} "
+                f"p999={lat['p999']:.6g} us"
+            )
+            overload_bits = []
+            for key in ("dropped", "retransmits", "buffer_drops",
+                        "ecn_marks"):
+                if tail_block.get(key):
+                    overload_bits.append(f"{key}={tail_block[key]}")
+            if overload_bits:
+                lines.append("  overload: " + " ".join(overload_bits))
+            for row in tail_block.get("classes", []):
+                lines.append(
+                    f"    {row['class']:<10} n={row['count']:<7} "
+                    f"p50={row['p50']:.6g} p99={row['p99']:.6g} "
+                    f"p999={row['p999']:.6g}"
+                )
+            its = tail_block.get("iterations")
+            if its:
+                lines.append(
+                    f"  iteration tails: n={its['count']} "
+                    f"p50={its['p50']:.6g} p99={its['p99']:.6g} "
+                    f"max={its['max']:.6g} us"
                 )
 
     events = profile.get("events", [])

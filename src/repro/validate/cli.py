@@ -143,7 +143,8 @@ def _regenerate(args) -> int:
         doc = load_golden(path)
         write_golden(path, graph=doc["graph"], topology=doc["topology"],
                      mapper=doc["mapper"], seed=doc["seed"],
-                     flow_metrics=doc.get("flow_metrics", False))
+                     flow_metrics=doc.get("flow_metrics", False),
+                     netsim=doc.get("netsim"))
         print(f"regenerated {path}")
     return 0
 

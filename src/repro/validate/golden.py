@@ -80,21 +80,27 @@ def _run_triple(doc: dict, *, validate: str, kernel: str | None):
         kernel=kernel,
         validate=validate,
         flow_metrics=bool(doc.get("flow_metrics", False)),
+        netsim=doc.get("netsim"),
     ))
 
 
 def write_golden(path: Path, *, graph: str, topology: str, mapper: str,
-                 seed: int = 0, flow_metrics: bool = False) -> dict:
+                 seed: int = 0, flow_metrics: bool = False,
+                 netsim: dict | None = None) -> dict:
     """Run the triple at ``--validate full`` and pin its outputs to ``path``.
 
     With ``flow_metrics=True`` the engine also runs the flow-level
     contention estimator and the pinned metrics block gains the ``flow_*``
     keys — drift in the route accounting or the makespan bound then trips
-    the corpus even when the assignment itself is unchanged.
+    the corpus even when the assignment itself is unchanged. ``netsim`` (a
+    ``MappingRequest.netsim`` knob dict, e.g. ``{"buffer_bytes": 4096,
+    "overload_policy": "ecn"}``) additionally pins the buffered DES replay's
+    ``des_*`` percentile/overload metrics — the finite-buffer timing model
+    itself becomes regression-guarded.
     """
     result = _run_triple(
         {"graph": graph, "topology": topology, "mapper": mapper, "seed": seed,
-         "flow_metrics": flow_metrics},
+         "flow_metrics": flow_metrics, "netsim": netsim},
         validate="full", kernel=None,
     )
     doc = {
@@ -108,6 +114,8 @@ def write_golden(path: Path, *, graph: str, topology: str, mapper: str,
     }
     if flow_metrics:
         doc["flow_metrics"] = True
+    if netsim is not None:
+        doc["netsim"] = netsim
     Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     return doc
 

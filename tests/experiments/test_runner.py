@@ -18,6 +18,7 @@ class TestRunnerCli:
         }
         assert set(runner.EXPERIMENTS) == set(runner.PAPER_EXPERIMENTS) | {
             "zoo", "bounds", "objectives", "scaling", "flowcheck",
+            "tailcheck",
         }
 
     def test_runs_one_experiment(self, capsys, monkeypatch):

@@ -51,6 +51,27 @@ class TestConstruction:
         with pytest.raises(SimulationError):
             sim.schedule_node_failure(1.0, 99)
 
+    def test_scheduled_failure_time_validated_eagerly(self):
+        sim = NetworkSimulator(Torus((4, 4)))
+        for bad in (-1.0, float("nan"), float("inf")):
+            with pytest.raises(SimulationError, match="failure time"):
+                sim.schedule_link_failure(bad, 0, 1)
+            with pytest.raises(SimulationError, match="failure time"):
+                sim.schedule_node_failure(bad, 0)
+        assert sim.queue.pending == 0  # nothing half-scheduled
+
+    def test_faults_rejected_under_credit_flow_control(self):
+        sim = NetworkSimulator(Torus((4, 4)), buffer_bytes=4096.0,
+                               overload_policy="credit")
+        with pytest.raises(SimulationError, match="credit"):
+            sim.fail_link(0, 1)
+        with pytest.raises(SimulationError, match="credit"):
+            sim.fail_node(3)
+        with pytest.raises(SimulationError, match="credit"):
+            sim.schedule_link_failure(1.0, 0, 1)
+        with pytest.raises(SimulationError, match="credit"):
+            sim.schedule_node_failure(1.0, 3)
+
 
 class TestLinkFailure:
     def test_dor_fixed_route_retries_then_raises(self, profiler):

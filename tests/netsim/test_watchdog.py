@@ -1,0 +1,106 @@
+"""Livelock watchdog, bounded ``run(until=)``, and wedge detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.netsim.simulator import NetworkSimulator
+from repro.topology import Mesh, Torus
+
+
+class TestWatchdog:
+    def _livelocked_sim(self):
+        """A retry loop that can never succeed: the only DOR route dies
+        mid-run, retransmits never back off (backoff 1.0) and never run out
+        (absurd max_retries) — without a watchdog this spins forever."""
+        sim = NetworkSimulator(Mesh((4,)), max_retries=10**9,
+                               retry_backoff=1.0, retry_delay=2.0,
+                               unroutable_policy="drop", stall_window=100.0)
+        sim.send(0, 3, 1000.0)
+        sim.schedule_link_failure(0.05, 1, 2)
+        return sim
+
+    def test_livelock_raises_structured_error(self):
+        with pytest.raises(SimulationError, match="livelock"):
+            self._livelocked_sim().run()
+
+    def test_livelock_error_names_oldest_message(self):
+        with pytest.raises(SimulationError, match="message 0"):
+            self._livelocked_sim().run()
+
+    def test_watchdog_retires_cleanly_on_success(self):
+        """A healthy run under a tight stall window completes normally and
+        leaves no watchdog events behind."""
+        sim = NetworkSimulator(Torus((4, 4)), stall_window=50.0)
+        rng = np.random.default_rng(3)
+        for _ in range(30):
+            a, b = (int(x) for x in rng.integers(0, 16, size=2))
+            sim.send(a, b, float(rng.uniform(10, 500)))
+        sim.run()
+        assert sim.stats.count == 30
+        assert sim.queue.pending == 0
+
+    def test_watchdog_tolerates_slow_but_live_progress(self):
+        """Deliveries spaced wider than the event cadence but inside the
+        stall window must not trip the detector."""
+        sim = NetworkSimulator(Mesh((4,)), bandwidth=0.1,
+                               stall_window=1e6)
+        for i in range(5):
+            sim.send(0, 3, 10_000.0, at=float(i) * 1e4)
+        sim.run()
+        assert sim.stats.count == 5
+
+
+class TestRunUntil:
+    def test_until_pauses_and_resumes(self):
+        sim = NetworkSimulator(Mesh((4,)), bandwidth=1.0)
+        msg = sim.send(0, 3, 1000.0)
+        now = sim.run(until=2.0)
+        assert now == 2.0
+        assert msg.deliver_time is None
+        assert sim.queue.pending > 0
+        sim.run()
+        assert msg.deliver_time is not None
+        assert sim.stats.count == 1
+
+    def test_until_past_completion_returns_deadline(self):
+        sim = NetworkSimulator(Mesh((4,)))
+        sim.send(0, 1, 10.0)
+        end = sim.run(until=1e9)
+        assert end == 1e9
+        assert sim.stats.count == 1
+
+    def test_until_does_not_trip_wedge_check(self):
+        """Pausing with messages legitimately in flight is not a wedge."""
+        sim = NetworkSimulator(Mesh((4,)), bandwidth=1.0, stall_window=1e6)
+        sim.send(0, 3, 1000.0)
+        sim.run(until=2.0)  # must not raise
+        assert sim.in_flight == 1
+        sim.run()
+        assert sim.in_flight == 0
+
+
+class TestWedgeDetection:
+    def test_credit_deadlock_reported_with_count(self):
+        """Torus wrap rings + credit + tiny buffers deadlock; the drained
+        queue with undelivered messages must raise, naming the count."""
+        sim = NetworkSimulator(Torus((4, 4)), bandwidth=50.0,
+                               buffer_bytes=4096.0, overload_policy="credit")
+        rng = np.random.default_rng(1)
+        for i in range(200):
+            a, b = (int(x) for x in rng.integers(0, 16, size=2))
+            while b == a:
+                b = int(rng.integers(0, 16))
+            sim.send(a, b, float(rng.integers(64, 4000)), at=float(i) * 0.4)
+        with pytest.raises(SimulationError, match=r"wedged.*undelivered"):
+            sim.run()
+
+    def test_unbuffered_runs_never_wedge_checked(self):
+        """The wedge check only arms for credit flow control or an explicit
+        stall window — plain runs keep the seed's exact behavior."""
+        sim = NetworkSimulator(Torus((4, 4)))
+        sim.send(0, 5, 100.0)
+        sim.run()
+        assert sim.stats.count == 1
