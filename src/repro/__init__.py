@@ -36,6 +36,7 @@ from repro.topology import (
     Torus,
     Hypercube,
     FatTree,
+    Dragonfly,
     ArbitraryTopology,
     SubTopology,
     topology_from_spec,
@@ -106,6 +107,7 @@ __all__ = [
     "Torus",
     "Hypercube",
     "FatTree",
+    "Dragonfly",
     "ArbitraryTopology",
     "SubTopology",
     "topology_from_spec",

@@ -115,9 +115,11 @@ def per_link_loads(
 ) -> dict[tuple[int, int], float]:
     """Bytes crossing each *directed* link under deterministic routing.
 
-    Requires a direct network (route() defined). Intra-processor edges load
-    no links. The max over this dict is the contention bottleneck the paper's
-    mapping strategy relieves.
+    Requires a route-capable (link-graph) machine: links are edges of
+    ``topology.link_graph()``, so on an indirect network (fat-tree,
+    dragonfly) the keys include switch-level links. Intra-processor edges
+    load no links. The max over this dict is the contention bottleneck the
+    paper's mapping strategy relieves.
     """
     arr = _as_assignment(graph, topology, assignment)
     loads: dict[tuple[int, int], float] = {}

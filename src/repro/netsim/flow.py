@@ -25,8 +25,11 @@ wrapping) run of same-direction links whose off-axis coordinates are the
 destination's for already-corrected axes and the source's for the rest. The
 per-axis loads are therefore accumulated with wrap-split difference arrays
 and one cumulative sum per direction — O(messages · ndim + links) total,
-vectorized over the task graph's edge arrays. Other topologies fall back to
-looping ``route_links`` (still DES-free).
+vectorized over the task graph's edge arrays. Every other machine — the
+hypercube, arbitrary graphs, and the *indirect* fat-tree/dragonfly whose
+routes traverse switch-level links — takes the generic link-indexed path:
+one ``route_links`` walk per unique processor pair, accumulated over the
+links of ``topology.link_graph()`` (still DES-free).
 
 Makespan bound (times in microseconds, the DES convention):
 
@@ -253,13 +256,30 @@ def _grid_link_loads(
 def _generic_link_loads(
     topo: Topology, src: np.ndarray, dst: np.ndarray, sizes: np.ndarray
 ) -> tuple[dict[tuple[int, int], float], dict[tuple[int, int], int]]:
-    """Route-walking fallback for topologies without a grid structure."""
+    """Generic link-indexed accumulation for non-grid machines.
+
+    Works over the links of ``topo.link_graph()`` — including the
+    switch-level links of indirect machines (fat-tree, dragonfly), whose
+    routes the grid fast path cannot express. Each unique ``(src, dst)``
+    processor pair is routed once and its aggregate bytes/message count
+    charged to every directed link of the route, so the cost is
+    O(unique pairs * route length) rather than O(messages * route length).
+    """
     bytes_out: dict[tuple[int, int], float] = {}
     msgs_out: dict[tuple[int, int], int] = {}
-    for s, d, size in zip(src, dst, sizes):
-        for link in topo.route_links(int(s), int(d)):
-            bytes_out[link] = bytes_out.get(link, 0.0) + float(size)
-            msgs_out[link] = msgs_out.get(link, 0) + 1
+    if not len(src):
+        return bytes_out, msgs_out
+    p = topo.num_nodes
+    keys = src.astype(np.int64) * p + dst.astype(np.int64)
+    order = np.argsort(keys, kind="stable")
+    uniq, starts = np.unique(keys[order], return_index=True)
+    byte_sums = np.add.reduceat(sizes[order], starts)
+    counts = np.diff(np.append(starts, len(keys)))
+    for key, b, c in zip(uniq, byte_sums, counts):
+        s, d = divmod(int(key), p)
+        for link in topo.route_links(s, d):
+            bytes_out[link] = bytes_out.get(link, 0.0) + float(b)
+            msgs_out[link] = msgs_out.get(link, 0) + int(c)
     return bytes_out, msgs_out
 
 

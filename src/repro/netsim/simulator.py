@@ -129,13 +129,18 @@ class _Link:
 
 
 class NetworkSimulator:
-    """Discrete-event simulator of a direct network.
+    """Discrete-event simulator of a machine's link graph.
 
     Parameters
     ----------
     topology:
-        A direct topology (mesh/torus/hypercube/arbitrary) providing
-        deterministic routes.
+        Any route-capable topology. Messages traverse the links of
+        ``topology.link_graph()``: on a direct machine
+        (mesh/torus/hypercube/arbitrary) those are processor-processor
+        links, on an indirect machine (fat-tree, dragonfly) they include
+        switch-level links — switches forward traffic but never inject or
+        absorb it, and buffers, overload policies, and fault injection all
+        apply per switch link exactly as they do per processor link.
     bandwidth:
         Link bandwidth in bytes per microsecond (1 byte/us == 1 MB/s).
     alpha:
@@ -233,14 +238,14 @@ class NetworkSimulator:
         if bandwidth <= 0:
             raise SimulationError(f"bandwidth must be positive, got {bandwidth}")
         if link_bandwidths:
-            p = topology.num_nodes
+            graph = topology.link_graph()
             for link, bw in link_bandwidths.items():
                 if bw <= 0:
                     raise SimulationError(
                         f"link {link} bandwidth must be positive, got {bw}"
                     )
                 a, b = int(link[0]), int(link[1])
-                if not (0 <= a < p and 0 <= b < p) or b not in topology.neighbors(a):
+                if not graph.has_link(a, b):
                     raise SimulationError(
                         f"link ({a}, {b}) in link_bandwidths is not a link "
                         f"of {topology.name}"
@@ -871,8 +876,7 @@ class NetworkSimulator:
         return at
 
     def _check_link(self, a: int, b: int) -> tuple[int, int]:
-        p = self._topology.num_nodes
-        if not (0 <= a < p and 0 <= b < p) or b not in self._topology.neighbors(a):
+        if not self._topology.link_graph().has_link(a, b):
             raise SimulationError(
                 f"({a}, {b}) is not a link of {self._topology.name}"
             )
@@ -901,19 +905,23 @@ class NetworkSimulator:
         self._fail_channel((b, a))
 
     def fail_node(self, node: int) -> None:
-        """Fail processor ``node``: all its links and NIC channels go down.
+        """Fail ``node`` (processor or switch): all its links go down.
 
-        Messages already heading to (or injected from) the dead processor
-        become unroutable — no reroute or retry can save them — and follow
-        ``unroutable_policy`` ("raise" surfaces a
-        :class:`~repro.exceptions.SimulationError`; "drop" records them and
-        counts ``netsim.dropped``).
+        A processor's NIC channels die with it. Messages already heading to
+        (or injected from) a dead processor become unroutable — no reroute
+        or retry can save them — and follow ``unroutable_policy`` ("raise"
+        surfaces a :class:`~repro.exceptions.SimulationError`; "drop"
+        records them and counts ``netsim.dropped``). Failing a switch only
+        kills its links: traffic reroutes around it when a surviving
+        minimal route exists.
         """
         self._check_credit_faults()
         node = int(node)
-        p = self._topology.num_nodes
-        if not 0 <= node < p:
-            raise SimulationError(f"node {node} out of range [0, {p})")
+        graph = self._topology.link_graph()
+        if not 0 <= node < graph.num_nodes:
+            raise SimulationError(
+                f"node {node} out of range [0, {graph.num_nodes})"
+            )
         if node in self._failed_nodes:
             return
         if self._prof is not None:
@@ -922,11 +930,12 @@ class NetworkSimulator:
                 "netsim.node_failed", time_us=self.queue.now, node=node
             )
         self._failed_nodes.add(node)
-        for nbr in self._topology.neighbors(node):
+        for nbr in graph.neighbors(node):
             self._fail_channel((node, nbr))
             self._fail_channel((nbr, node))
-        self._fail_channel(("nic_out", node))
-        self._fail_channel(("nic_in", node))
+        if not graph.is_switch(node):
+            self._fail_channel(("nic_out", node))
+            self._fail_channel(("nic_in", node))
 
     def schedule_link_failure(self, at: float, a: int, b: int) -> None:
         """Fail link ``(a, b)`` at simulation time ``at``.
@@ -942,13 +951,13 @@ class NetworkSimulator:
         self.queue.schedule(at, lambda: self.fail_link(a, b))
 
     def schedule_node_failure(self, at: float, node: int) -> None:
-        """Fail processor ``node`` at simulation time ``at`` (validated now)."""
+        """Fail node ``node`` at simulation time ``at`` (validated now)."""
         self._check_credit_faults()
         at = self._check_failure_time(at)
         node = int(node)
-        p = self._topology.num_nodes
-        if not 0 <= node < p:
-            raise SimulationError(f"node {node} out of range [0, {p})")
+        limit = self._topology.link_graph().num_nodes
+        if not 0 <= node < limit:
+            raise SimulationError(f"node {node} out of range [0, {limit})")
         self.queue.schedule(at, lambda: self.fail_node(node))
 
     def _fail_channel(self, channel: tuple) -> None:

@@ -33,6 +33,7 @@ class LBDatabase:
         self._comm: dict[tuple[int, int], float] = {}
         self._placement = np.zeros(self._n, dtype=np.int64)
         self._steps = 0
+        self._coords: np.ndarray | None = None
 
     # ------------------------------------------------------------ recording
     @property
@@ -97,7 +98,10 @@ class LBDatabase:
         the Charm++ model where every migratable object is a vertex.
         """
         edges = [(a, b, w) for (a, b), w in sorted(self._comm.items())]
-        return TaskGraph(self._n, edges, self._loads)
+        graph = TaskGraph(self._n, edges, self._loads)
+        if self._coords is not None:
+            graph.attach_coords(self._coords)
+        return graph
 
     @classmethod
     def from_taskgraph(cls, graph: TaskGraph, placement=None) -> "LBDatabase":
@@ -106,6 +110,8 @@ class LBDatabase:
         db._loads = graph.vertex_weights.copy()
         db._comm = {(a, b): w for a, b, w in graph.edges()}
         db._steps = 1
+        if graph.coords is not None:
+            db._coords = graph.coords.copy()
         if placement is not None:
             db.set_placement(placement)
         return db
@@ -121,6 +127,8 @@ class LBDatabase:
             "placement": self._placement.tolist(),
             "comm": [[a, b, w] for (a, b), w in sorted(self._comm.items())],
         }
+        if self._coords is not None:
+            payload["coords"] = self._coords.tolist()
         Path(path).write_text(json.dumps(payload))
 
     @classmethod
@@ -138,6 +146,8 @@ class LBDatabase:
         db.set_placement(payload["placement"])
         for a, b, w in payload["comm"]:
             db.record_comm(int(a), int(b), float(w))
+        if "coords" in payload:
+            db._coords = np.asarray(payload["coords"], dtype=np.float64)
         return db
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

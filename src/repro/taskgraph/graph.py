@@ -166,6 +166,7 @@ class TaskGraph:
 
     def _finish_edges(self) -> None:
         """Freeze the canonical edge arrays and derive the CSR adjacency."""
+        self._coords: np.ndarray | None = None
         for arr in (self._edge_u, self._edge_v, self._edge_w):
             arr.flags.writeable = False
 
@@ -194,6 +195,37 @@ class TaskGraph:
 
     def __len__(self) -> int:
         return self._n
+
+    # ---------------------------------------------------------------- coords
+    @property
+    def coords(self) -> np.ndarray | None:
+        """Per-task geometric coordinates, shape ``(n, k)``, or ``None``.
+
+        Structured generators (:func:`~repro.taskgraph.patterns.mesh_pattern`)
+        attach them; geometric mappers (the space-filling-curve mapper)
+        require them. Read-only once attached.
+        """
+        return self._coords
+
+    def attach_coords(self, coords) -> "TaskGraph":
+        """Attach per-task coordinates (one row per task); returns ``self``.
+
+        Coordinates are auxiliary metadata — they do not participate in
+        equality or the edge structure — but mappers that order tasks
+        geometrically (Deveci et al.'s SFC baselines) need them.
+        """
+        arr = np.asarray(coords, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr[:, None]
+        if arr.ndim != 2 or arr.shape[0] != self._n:
+            raise TaskGraphError(
+                f"coords must have one row per task ({self._n}), "
+                f"got shape {arr.shape}"
+            )
+        arr = arr.copy()
+        arr.flags.writeable = False
+        self._coords = arr
+        return self
 
     # --------------------------------------------------------------- weights
     @property
@@ -318,7 +350,10 @@ class TaskGraph:
             ia, ib = local.get(a), local.get(b)
             if ia is not None and ib is not None:
                 edges.append((ia, ib, w))
-        return TaskGraph(len(ids), edges, self._vertex_weights[np.asarray(ids)])
+        sub = TaskGraph(len(ids), edges, self._vertex_weights[np.asarray(ids)])
+        if self._coords is not None:
+            sub.attach_coords(self._coords[np.asarray(ids)])
+        return sub
 
     def relabel(self, permutation: Sequence[int]) -> "TaskGraph":
         """Return a copy with task ``t`` renamed to ``permutation[t]``."""
@@ -331,7 +366,12 @@ class TaskGraph:
             (int(perm[a]), int(perm[b]), float(w))
             for a, b, w in zip(self._edge_u, self._edge_v, self._edge_w)
         ]
-        return TaskGraph(self._n, edges, new_vw)
+        out = TaskGraph(self._n, edges, new_vw)
+        if self._coords is not None:
+            new_coords = np.empty_like(self._coords)
+            new_coords[perm] = self._coords
+            out.attach_coords(new_coords)
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<TaskGraph n={self._n} edges={self.num_edges} bytes={self.total_bytes:g}>"

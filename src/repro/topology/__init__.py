@@ -9,10 +9,12 @@ vectorized distances so no all-pairs-shortest-path computation is needed.
 """
 
 from repro.topology.base import Topology
+from repro.topology.links import LinkGraph, DirectLinkGraph, StaticLinkGraph
 from repro.topology.mesh import Mesh
 from repro.topology.torus import Torus
 from repro.topology.hypercube import Hypercube
 from repro.topology.fattree import FatTree
+from repro.topology.dragonfly import Dragonfly
 from repro.topology.graph import ArbitraryTopology
 from repro.topology.subset import SubTopology
 from repro.topology.aggregate import GroupedTopology, coarsen_machine
@@ -21,10 +23,14 @@ from repro.topology.factory import topology_from_spec
 
 __all__ = [
     "Topology",
+    "LinkGraph",
+    "DirectLinkGraph",
+    "StaticLinkGraph",
     "Mesh",
     "Torus",
     "Hypercube",
     "FatTree",
+    "Dragonfly",
     "ArbitraryTopology",
     "SubTopology",
     "GroupedTopology",

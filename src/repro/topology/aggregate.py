@@ -217,7 +217,12 @@ class GroupedTopology(Topology):
         if self._neighbor_lists is None:
             sets: list[set[int]] = [set() for _ in range(self._num_nodes)]
             g = self._groups
+            p = len(g)
             for a, b in self._parent.links():
+                if a >= p or b >= p:
+                    # Switch-level links of an indirect parent (fat-tree,
+                    # dragonfly) say nothing about group-group adjacency.
+                    continue
                 ga, gb = int(g[a]), int(g[b])
                 if ga != gb:
                     sets[ga].add(gb)
@@ -228,8 +233,9 @@ class GroupedTopology(Topology):
     # ---------------------------------------------------------------- routing
     def route(self, src: int, dst: int) -> list[int]:
         raise TopologyError(
-            "grouped (coarse) machines are metric-only — no physical links "
-            "to route over; route on the parent machine instead"
+            "grouped (coarse) machines are metric-only — they have no "
+            "link_graph() to route over; route on the parent machine "
+            "(its link_graph() carries the physical links) instead"
         )
 
     @property

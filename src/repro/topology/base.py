@@ -31,6 +31,7 @@ class Topology(abc.ABC):
         self._distance_matrices: dict[np.dtype, np.ndarray] = {}
         self._avg_distance_vector: np.ndarray | None = None
         self._centered_distance: dict[np.dtype, np.ndarray] = {}
+        self._link_graph = None  # lazily built by link_graph()
 
     # ------------------------------------------------------------------ size
     @property
@@ -153,19 +154,38 @@ class Topology(abc.ABC):
         """Number of undirected links."""
         return sum(1 for _ in self.links())
 
+    def link_graph(self):
+        """The machine's routing substrate (see :mod:`repro.topology.links`).
+
+        Nodes are processors plus switches; links carry capacity. The
+        default — correct for every *direct* network — is a lazy
+        :class:`~repro.topology.links.DirectLinkGraph` whose nodes are
+        exactly the processors and whose links delegate to
+        :meth:`neighbors`, so direct machines keep their pre-link-graph
+        semantics bit-identically. Indirect machines (fat-tree, dragonfly)
+        override with explicit switch-level wiring.
+        """
+        graph = self._link_graph
+        if graph is None:
+            from repro.topology.links import DirectLinkGraph
+
+            graph = self._link_graph = DirectLinkGraph(self)
+        return graph
+
     # ---------------------------------------------------------------- routing
     @abc.abstractmethod
     def route(self, src: int, dst: int) -> list[int]:
         """Deterministic minimal route from ``src`` to ``dst``.
 
-        Returns the node sequence ``[src, ..., dst]``; consecutive entries are
-        linked. Grid topologies use dimension-ordered routing (as BlueGene/L
-        does); the network simulator charges contention on each hop of this
-        route.
+        Returns the node sequence ``[src, ..., dst]`` over :meth:`link_graph`
+        nodes; consecutive entries are linked. Intermediate entries may be
+        switch ids (``>= num_nodes``) on indirect machines. Grid topologies
+        use dimension-ordered routing (as BlueGene/L does); the network
+        simulator charges contention on each hop of this route.
         """
 
     def route_links(self, src: int, dst: int) -> list[tuple[int, int]]:
-        """The directed links traversed by :meth:`route`."""
+        """The directed links (over :meth:`link_graph`) traversed by :meth:`route`."""
         path = self.route(src, dst)
         return list(zip(path[:-1], path[1:]))
 

@@ -1,0 +1,190 @@
+"""Link graphs: the routing substrate of a machine.
+
+A :class:`LinkGraph` describes the graph that messages physically traverse —
+its nodes are the processors (``0..num_processors-1``) **plus** any switches
+(``num_processors..num_nodes-1``), and its links carry capacity. Processors
+inject and absorb traffic; switches only forward. On a *direct* network
+(mesh/torus/hypercube/arbitrary) the link graph is exactly the processor
+graph, so :class:`DirectLinkGraph` lazily delegates to
+:meth:`~repro.topology.base.Topology.neighbors` and the pre-refactor
+behaviour is preserved bit-identically. Indirect machines (fat-tree,
+dragonfly) build a :class:`StaticLinkGraph` with explicit switch-level
+wiring.
+
+Every ``Topology.route(src, dst)`` returns a node path over this graph, and
+``route_links`` the corresponding directed link sequence — the network
+simulator, the flow estimator, and the link-load conservation oracle all
+consume those links without caring whether an endpoint is a processor or a
+switch (switch ids are plain ints ``>= num_processors``, so channel keys,
+stats, and profiles keep their ``(int, int)`` shape).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.exceptions import TopologyError
+
+__all__ = ["LinkGraph", "DirectLinkGraph", "StaticLinkGraph"]
+
+
+class LinkGraph:
+    """Base class: nodes = processors ∪ switches, undirected links.
+
+    Each undirected link is used by the simulator as two independent
+    directed capacity-carrying channels ``(a, b)`` and ``(b, a)``.
+    """
+
+    def __init__(self, num_processors: int, num_switches: int = 0):
+        if num_processors < 1:
+            raise TopologyError(
+                f"link graph needs at least one processor, got {num_processors}"
+            )
+        if num_switches < 0:
+            raise TopologyError(f"negative switch count {num_switches}")
+        self._num_processors = int(num_processors)
+        self._num_switches = int(num_switches)
+
+    # ------------------------------------------------------------------ size
+    @property
+    def num_processors(self) -> int:
+        """Nodes that inject/absorb traffic (ids ``0..num_processors-1``)."""
+        return self._num_processors
+
+    @property
+    def num_switches(self) -> int:
+        """Forward-only nodes (ids ``num_processors..num_nodes-1``)."""
+        return self._num_switches
+
+    @property
+    def num_nodes(self) -> int:
+        """Total routable nodes: processors plus switches."""
+        return self._num_processors + self._num_switches
+
+    def is_switch(self, node: int) -> bool:
+        """True when ``node`` forwards but never injects or absorbs."""
+        return self._num_processors <= int(node) < self.num_nodes
+
+    def _check_node(self, node: int) -> int:
+        node = int(node)
+        if not 0 <= node < self.num_nodes:
+            raise TopologyError(
+                f"node {node} out of link-graph range [0, {self.num_nodes})"
+            )
+        return node
+
+    # ----------------------------------------------------------- connectivity
+    def neighbors(self, node: int) -> list[int]:
+        """Nodes (processors or switches) sharing a link with ``node``."""
+        raise NotImplementedError
+
+    def has_link(self, a: int, b: int) -> bool:
+        """True when the undirected link ``(a, b)`` exists."""
+        if not (0 <= int(a) < self.num_nodes and 0 <= int(b) < self.num_nodes):
+            return False
+        return int(b) in self.neighbors(int(a))
+
+    def degree(self, node: int) -> int:
+        """Number of links at ``node``."""
+        return len(self.neighbors(node))
+
+    def links(self) -> Iterator[tuple[int, int]]:
+        """Iterate over undirected links as ``(a, b)`` with ``a < b``."""
+        for a in range(self.num_nodes):
+            for b in self.neighbors(a):
+                if a < b:
+                    yield (a, b)
+
+    def num_links(self) -> int:
+        """Number of undirected links."""
+        return sum(1 for _ in self.links())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<{type(self).__name__} p={self._num_processors} "
+            f"switches={self._num_switches}>"
+        )
+
+
+class DirectLinkGraph(LinkGraph):
+    """Link graph of a direct network: the processor graph itself.
+
+    Pure lazy delegation to the owning topology — no adjacency is ever
+    materialized, so direct machines pay nothing for the link-graph
+    generalization and keep their exact pre-refactor link semantics.
+    """
+
+    def __init__(self, topology):
+        super().__init__(topology.num_nodes, 0)
+        self._topology = topology
+
+    def neighbors(self, node: int) -> list[int]:
+        return self._topology.neighbors(self._check_node(node))
+
+    def links(self) -> Iterator[tuple[int, int]]:
+        return self._topology.links()
+
+
+class StaticLinkGraph(LinkGraph):
+    """Explicit link graph for indirect machines (switch-level wiring).
+
+    Built once from an iterable of undirected ``(a, b)`` links; adjacency
+    lists are sorted so iteration order is deterministic.
+    """
+
+    def __init__(self, num_processors: int, num_nodes: int,
+                 links: Iterable[tuple[int, int]]):
+        if num_nodes < num_processors:
+            raise TopologyError(
+                f"num_nodes {num_nodes} < num_processors {num_processors}"
+            )
+        super().__init__(num_processors, num_nodes - num_processors)
+        adjacency: list[set[int]] = [set() for _ in range(self.num_nodes)]
+        link_set: set[tuple[int, int]] = set()
+        for a, b in links:
+            a, b = self._check_node(a), self._check_node(b)
+            if a == b:
+                raise TopologyError(f"self-link at node {a}")
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+            link_set.add((a, b) if a < b else (b, a))
+        self._adjacency = [sorted(nbrs) for nbrs in adjacency]
+        self._link_set = link_set
+
+    def neighbors(self, node: int) -> list[int]:
+        return list(self._adjacency[self._check_node(node)])
+
+    def has_link(self, a: int, b: int) -> bool:
+        a, b = int(a), int(b)
+        return ((a, b) if a < b else (b, a)) in self._link_set
+
+    def links(self) -> Iterator[tuple[int, int]]:
+        return iter(sorted(self._link_set))
+
+    def num_links(self) -> int:
+        return len(self._link_set)
+
+    def shortest_hops(self, src: int, dst: int) -> int:
+        """BFS shortest-path hop count between any two link-graph nodes.
+
+        Exists for the validation suite: topology ``distance`` metrics and
+        deterministic routes must agree with the true shortest path over the
+        switch wiring (tests property-check this). Not a hot path.
+        """
+        src, dst = self._check_node(src), self._check_node(dst)
+        if src == dst:
+            return 0
+        from collections import deque
+
+        seen = {src: 0}
+        frontier = deque([src])
+        while frontier:
+            v = frontier.popleft()
+            d = seen[v] + 1
+            for nbr in self._adjacency[v]:
+                if nbr not in seen:
+                    if nbr == dst:
+                        return d
+                    seen[nbr] = d
+                    frontier.append(nbr)
+        raise TopologyError(f"no path from {src} to {dst} in link graph")

@@ -289,11 +289,15 @@ def _check_metrics_consistency(s: _Session, metrics: dict | None) -> None:
 def _check_link_load_conservation(s: _Session) -> None:
     from repro.mapping.metrics import hop_bytes, per_link_loads
 
+    # Route-capable now means link-graph-capable: direct machines route over
+    # processor links, indirect ones (fat-tree, dragonfly) over switch links
+    # — the conservation law holds either way. Only metric-only wrappers
+    # (grouped/sub/matrix machines) still skip here.
     try:
         loads = per_link_loads(s.graph, s.topology, s.assignment)
     except TopologyError as exc:
         s.record("link-load-conservation", "skipped",
-                 f"topology is not route-capable: {exc}")
+                 f"topology is not link-graph-capable: {exc}")
         return
     # The conservation law assumes hop-minimal routes (route length equals
     # hop distance); weighted machines route minimally in *cost*, not hops.

@@ -125,15 +125,38 @@ class TestGenericFallback:
             for link, load in oracle.items():
                 assert flow.link_bytes[link] == pytest.approx(load), label
 
-    def test_indirect_network_rejected_like_des(self):
-        """Fat-trees define no processor-level routes; the flow estimator
-        surfaces the same TopologyError the DES would."""
-        from repro.exceptions import TopologyError
+    def test_indirect_networks_match_route_oracle(self):
+        """Fat-tree and dragonfly routes run over switch links; the flow
+        estimator charges exactly the per_link_loads oracle's loads."""
+        from repro.topology import Dragonfly
 
-        topo = FatTree(4, 3)
-        graph = random_taskgraph(topo.num_nodes, edge_prob=0.2, seed=4)
-        with pytest.raises(TopologyError):
-            flow_evaluate(_mapping(graph, topo, seed=1))
+        for label, topo in (("fattree4x3", FatTree(4, 3)),
+                            ("dragonfly", Dragonfly(4, 4, 2))):
+            graph = random_taskgraph(topo.num_nodes, edge_prob=0.2, seed=4)
+            mapping = _mapping(graph, topo, seed=1)
+            flow = flow_evaluate(mapping)
+            oracle = per_link_loads(graph, topo, mapping.assignment)
+            assert flow.link_bytes.keys() == oracle.keys(), label
+            for link, load in oracle.items():
+                assert flow.link_bytes[link] == pytest.approx(load), label
+
+    def test_indirect_network_flow_matches_des_link_bytes(self):
+        """DES ≡ flow on an indirect machine: the per-switch-link bytes the
+        DES actually forwarded equal the flow estimator's offered load."""
+        from repro.topology import Dragonfly
+
+        for label, topo in (("fattree2x3", FatTree(2, 3)),
+                            ("dragonfly", Dragonfly(3, 2, 2))):
+            graph = random_taskgraph(topo.num_nodes, edge_prob=0.4, seed=7)
+            mapping = _mapping(graph, topo, seed=3)
+            iters = 2
+            sim = NetworkSimulator(topo)
+            IterativeApplication(mapping, sim, iterations=iters).run()
+            des = sim.link_bytes()
+            flow = flow_evaluate(mapping, iterations=iters)
+            assert flow.link_bytes.keys() == des.keys(), label
+            for link, measured in des.items():
+                assert flow.link_bytes[link] * iters == pytest.approx(measured), label
 
 
 class TestMakespanLowerBound:

@@ -1,0 +1,145 @@
+"""Link-graph contract tests: routes, distances, and switch wiring agree.
+
+The refactored routing contract promises that ``Topology.route`` is a path
+over ``Topology.link_graph()`` and that the distance metric equals the
+link-graph shortest-path hop count — on direct machines trivially (the link
+graph *is* the processor graph), on indirect machines (fat-tree, dragonfly)
+by construction of the switch wiring. Hypothesis drives the indirect
+property across machine shapes and processor pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import (
+    DirectLinkGraph,
+    Dragonfly,
+    FatTree,
+    Hypercube,
+    Mesh,
+    StaticLinkGraph,
+    Torus,
+)
+
+fattrees = st.builds(
+    FatTree,
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=1, max_value=3),
+)
+
+dragonflies = st.integers(min_value=1, max_value=5).flatmap(
+    lambda g: st.builds(
+        Dragonfly,
+        st.just(g),
+        st.integers(min_value=max(1, g - 1), max_value=5),
+        st.integers(min_value=1, max_value=3),
+    )
+)
+
+
+@given(topo=st.one_of(fattrees, dragonflies), data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_distance_equals_link_graph_shortest_path(topo, data):
+    """d(x, y) == BFS hop count over the switch wiring, for random pairs."""
+    lg = topo.link_graph()
+    x = data.draw(st.integers(0, topo.num_nodes - 1), label="x")
+    y = data.draw(st.integers(0, topo.num_nodes - 1), label="y")
+    assert topo.distance(x, y) == lg.shortest_hops(x, y)
+
+
+@given(topo=st.one_of(fattrees, dragonflies), data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_route_is_shortest_valid_link_graph_path(topo, data):
+    lg = topo.link_graph()
+    x = data.draw(st.integers(0, topo.num_nodes - 1), label="x")
+    y = data.draw(st.integers(0, topo.num_nodes - 1), label="y")
+    path = topo.route(x, y)
+    assert path[0] == x and path[-1] == y
+    assert len(set(path)) == len(path)
+    for a, b in zip(path, path[1:]):
+        assert lg.has_link(a, b)
+    assert len(path) - 1 == topo.distance(x, y)
+    # Interior nodes are switches: processors never forward through-traffic.
+    assert all(lg.is_switch(node) for node in path[1:-1])
+
+
+class TestDirectLinkGraph:
+    @pytest.mark.parametrize(
+        "topo", [Mesh((4, 4)), Torus((3, 5)), Hypercube(4)],
+        ids=["mesh4x4", "torus3x5", "hypercube4"],
+    )
+    def test_is_the_processor_graph(self, topo):
+        lg = topo.link_graph()
+        assert isinstance(lg, DirectLinkGraph)
+        assert lg.num_switches == 0
+        assert lg.num_nodes == lg.num_processors == topo.num_nodes
+        assert sorted(lg.links()) == sorted(topo.links())
+        for v in range(topo.num_nodes):
+            assert lg.neighbors(v) == topo.neighbors(v)
+            assert not lg.is_switch(v)
+
+    def test_has_link_matches_neighbors(self):
+        topo = Torus((4, 4))
+        lg = topo.link_graph()
+        for a in range(topo.num_nodes):
+            nbrs = set(topo.neighbors(a))
+            for b in range(topo.num_nodes):
+                assert lg.has_link(a, b) == (b in nbrs)
+
+    def test_cached_per_topology(self):
+        topo = Mesh((3, 3))
+        assert topo.link_graph() is topo.link_graph()
+
+
+class TestStaticLinkGraph:
+    def test_rejects_bad_wiring(self):
+        from repro.exceptions import TopologyError
+
+        with pytest.raises(TopologyError):
+            StaticLinkGraph(2, 3, [(0, 0)])  # self-link
+        with pytest.raises(TopologyError):
+            StaticLinkGraph(2, 3, [(0, 5)])  # out of range
+        with pytest.raises(TopologyError):
+            StaticLinkGraph(4, 2, [])  # fewer nodes than processors
+
+    def test_switch_partition(self):
+        lg = StaticLinkGraph(2, 4, [(0, 2), (1, 3), (2, 3)])
+        assert not lg.is_switch(0) and not lg.is_switch(1)
+        assert lg.is_switch(2) and lg.is_switch(3)
+        assert lg.num_links() == 3
+        assert lg.shortest_hops(0, 1) == 3
+
+    def test_duplicate_links_merge(self):
+        lg = StaticLinkGraph(2, 3, [(0, 2), (2, 0), (1, 2)])
+        assert lg.num_links() == 2
+        assert lg.neighbors(2) == [0, 1]
+
+    def test_disconnected_pair_raises(self):
+        from repro.exceptions import TopologyError
+
+        lg = StaticLinkGraph(3, 4, [(0, 3), (1, 3)])
+        with pytest.raises(TopologyError, match="no path"):
+            lg.shortest_hops(0, 2)
+
+
+def test_link_graph_cache_key_participation():
+    """Equal-shape indirect machines share one link enumeration through the
+    shared topology cache, keyed by cache_key()."""
+    from repro.topology.cache import clear_topology_cache, topology_cache_info
+
+    clear_topology_cache()
+    FatTree(2, 3).link_graph()
+    Dragonfly(3, 2, 2).link_graph()
+    keys = topology_cache_info()["keys"]
+    assert (("FatTree", 2, 3), "link_graph_links") in keys
+    assert (("Dragonfly", 3, 2, 2), "link_graph_links") in keys
+    # A second instance with the same shape hits the cached enumeration.
+    before = len(topology_cache_info()["keys"])
+    lg = FatTree(2, 3).link_graph()
+    assert len(topology_cache_info()["keys"]) == before
+    assert lg.num_links() == 24
+    clear_topology_cache()

@@ -1,4 +1,4 @@
-"""Tests for hypercube, fat-tree and arbitrary-graph topologies."""
+"""Tests for hypercube, fat-tree, dragonfly and arbitrary-graph topologies."""
 
 from __future__ import annotations
 
@@ -7,7 +7,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import TopologyError
-from repro.topology import ArbitraryTopology, FatTree, Hypercube
+from repro.topology import ArbitraryTopology, Dragonfly, FatTree, Hypercube
 
 
 class TestHypercube:
@@ -79,11 +79,42 @@ class TestFatTree:
         ft = FatTree(4, 2)
         assert sorted(ft.neighbors(5)) == [4, 6, 7]
 
-    def test_route_raises(self):
-        with pytest.raises(TopologyError, match="indirect"):
-            FatTree(2, 2).route(0, 3)
-        with pytest.raises(TopologyError):
-            FatTree(2, 2).links()
+    def test_route_over_switch_fabric(self):
+        ft = FatTree(2, 2)
+        lg = ft.link_graph()
+        path = ft.route(0, 3)
+        assert path[0] == 0 and path[-1] == 3
+        assert len(path) - 1 == ft.distance(0, 3) == 4
+        # Interior hops are switches, packed after the processor ids.
+        assert all(node >= ft.num_nodes for node in path[1:-1])
+        for a, b in zip(path, path[1:]):
+            assert lg.has_link(a, b)
+
+    def test_route_length_equals_distance(self):
+        ft = FatTree(3, 3)
+        mat = ft.distance_matrix()
+        rng = np.random.default_rng(1)
+        for _ in range(60):
+            a, b = (int(x) for x in rng.integers(0, ft.num_nodes, size=2))
+            path = ft.route(a, b)
+            assert path[0] == a and path[-1] == b
+            assert len(path) - 1 == mat[a, b]
+            assert len(set(path)) == len(path)
+
+    def test_route_deterministic_up_link(self):
+        ft = FatTree(4, 3)
+        assert ft.route(5, 37) == ft.route(5, 37)
+
+    def test_link_graph_shape(self):
+        # k-ary n-tree wiring: L * a**L undirected links, L * a**(L-1) switches.
+        ft = FatTree(2, 3)
+        lg = ft.link_graph()
+        assert lg.num_processors == 8
+        assert lg.num_switches == 12
+        assert lg.num_links() == 3 * 2**3
+        assert sum(1 for _ in ft.links()) == lg.num_links()
+        # Every processor has degree 1 (one cable to its leaf switch).
+        assert all(lg.degree(x) == 1 for x in range(8))
 
     def test_diameter(self):
         assert FatTree(2, 3).diameter() == 6
@@ -105,6 +136,74 @@ class TestFatTree:
             FatTree(1, 2)
         with pytest.raises(TopologyError):
             FatTree(2, 0)
+
+
+class TestDragonfly:
+    def test_sizes(self):
+        assert Dragonfly(4, 4, 2).num_nodes == 32
+        assert Dragonfly(1, 1, 1).num_nodes == 1
+
+    def test_hierarchical_distances(self):
+        df = Dragonfly(4, 4, 2)
+        assert df.distance(0, 0) == 0
+        assert df.distance(0, 1) == 2   # same router
+        assert df.distance(0, 2) == 3   # same group, other router
+        # Inter-group: 3 plus one hop per needed group-local detour.
+        inter = df.distance_matrix()[:8, 8:]
+        assert inter.min() == 3 and inter.max() == 5
+
+    def test_route_over_routers(self):
+        df = Dragonfly(4, 4, 2)
+        lg = df.link_graph()
+        mat = df.distance_matrix()
+        for x in range(df.num_nodes):
+            for y in range(df.num_nodes):
+                path = df.route(x, y)
+                assert path[0] == x and path[-1] == y
+                assert len(path) - 1 == mat[x, y]
+                assert all(node >= df.num_nodes for node in path[1:-1])
+                for a, b in zip(path, path[1:]):
+                    assert lg.has_link(a, b)
+
+    def test_one_global_link_per_group_pair(self):
+        df = Dragonfly(5, 4, 1)
+        lg = df.link_graph()
+        p, r = df.num_nodes, df.routers
+        globals_seen = set()
+        for a, b in lg.links():
+            if a >= p and b >= p:
+                ga, gb = (a - p) // r, (b - p) // r
+                if ga != gb:
+                    globals_seen.add((ga, gb))
+        assert len(globals_seen) == 5 * 4 // 2
+
+    def test_each_router_hosts_at_most_one_global_port(self):
+        # The structural property that keeps minimal routes shortest.
+        df = Dragonfly(6, 5, 1)
+        lg = df.link_graph()
+        p, r = df.num_nodes, df.routers
+        ports = {}
+        for a, b in lg.links():
+            if a >= p and b >= p and (a - p) // r != (b - p) // r:
+                for node in (a, b):
+                    ports[node] = ports.get(node, 0) + 1
+        assert max(ports.values()) == 1
+
+    def test_axioms(self):
+        Dragonfly(4, 4, 2).validate_distance_axioms()
+        Dragonfly(2, 3, 2).validate_distance_axioms()
+
+    def test_diameter(self):
+        assert Dragonfly(4, 4, 2).diameter() == 5
+        assert Dragonfly(1, 3, 2).diameter() == 3
+        assert Dragonfly(1, 1, 4).diameter() == 2
+
+    def test_bad_params(self):
+        with pytest.raises(TopologyError):
+            Dragonfly(0, 1, 1)
+        # >= 3 groups need routers >= groups - 1 (one global port per router).
+        with pytest.raises(TopologyError, match="global port"):
+            Dragonfly(5, 2, 1)
 
 
 class TestArbitraryTopology:
