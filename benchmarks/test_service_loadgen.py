@@ -1,0 +1,65 @@
+"""Serving-path benchmark: cache-hit fast path vs cold compute.
+
+The tentpole claim of the mapping service (ROADMAP item 2): under the
+duplicate-heavy traffic the service is built for (>= 90% repeats), a cache
+hit is served at least an order of magnitude faster than a cold compute of
+the same request. The load generator drives 200 requests at a self-hosted
+daemon, classifies every response hit/cold from the ``cached`` flag, and
+the profile lands in ``BENCH_service_loadgen.json``.
+
+Latencies are wall-clock and machine-dependent, so unlike the DES
+benchmarks the artifact is not pinned bit-exact: the live run and the
+recorded artifact must both clear the same qualitative bars (hit ratio
+matches the offered duplicate fraction; hit p50 >= 10x faster than cold
+p50). Re-record with ``REPRO_RECORD_BENCH=1``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro import obs
+from repro.service.loadgen import run_loadgen
+
+ARTIFACT = Path(__file__).parent / "BENCH_service_loadgen.json"
+
+REQUESTS = 200
+DUPLICATE = 0.9
+MIN_SPEEDUP = 10.0
+
+
+def _gate(counters: dict, origin: str) -> None:
+    assert counters["loadgen.errors"] == 0, (
+        f"{origin}: {counters['loadgen.errors']} requests failed"
+    )
+    assert counters["loadgen.served"] == REQUESTS
+    # Uniques lead the stream, so the hit ratio equals the duplicate
+    # fraction exactly when driven sequentially.
+    assert counters["loadgen.hit_ratio"] >= DUPLICATE - 0.01, (
+        f"{origin}: hit ratio {counters['loadgen.hit_ratio']:.3f} below the "
+        f"{DUPLICATE:.0%} duplicate traffic offered"
+    )
+    assert counters["loadgen.hit_speedup"] >= MIN_SPEEDUP, (
+        f"{origin}: hit p50 {counters['loadgen.hit_p50_us']:.0f}us vs cold "
+        f"p50 {counters['loadgen.miss_p50_us']:.0f}us is only "
+        f"{counters['loadgen.hit_speedup']:.1f}x (< {MIN_SPEEDUP:.0f}x)"
+    )
+
+
+def test_hit_path_order_of_magnitude_faster(run_once):
+    profile = run_once(
+        run_loadgen, requests=REQUESTS, duplicate=DUPLICATE, seed=0, jobs=1
+    )
+    obs.validate_profile(profile)
+    _gate(profile["counters"], "live run")
+
+    if os.environ.get("REPRO_RECORD_BENCH"):
+        obs.save_profile(profile, ARTIFACT)
+
+    # The recorded artifact must tell the same story as the live run.
+    pinned = json.loads(ARTIFACT.read_text())
+    obs.validate_profile(pinned)
+    assert pinned["context"]["duplicate_fraction"] == DUPLICATE
+    _gate(pinned["counters"], str(ARTIFACT.name))

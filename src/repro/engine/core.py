@@ -26,7 +26,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.exceptions import SpecError
+from repro.exceptions import SpecError, ValidationError
 from repro.engine.specs import mapper_from_spec, parse_mapper_spec
 
 __all__ = [
@@ -414,6 +414,7 @@ class MappingEngine:
         jobs: int = 1,
         retries: int = 0,
         retry_delay: float = 0.0,
+        keep_mapping: bool = False,
     ) -> list[MappingResult]:
         """Run a batch; results come back in request order.
 
@@ -424,38 +425,77 @@ class MappingEngine:
         in-process topology/context cache across the whole batch; pooled
         workers each warm their own shared cache.
 
+        ``keep_mapping`` makes the result-payload contract explicit and
+        identical on both paths: by default every result comes back with
+        ``mapping=None`` (serial runs included — only the assignment,
+        metrics and metadata survive the batch), while ``keep_mapping=True``
+        retains the full :class:`~repro.mapping.base.Mapping` object
+        everywhere, pickling it back from pooled workers.
+
+        Retry delays never block the dispatch loop: a failed request is
+        *rescheduled* with a deadline while already-finished futures keep
+        being collected, so one slow retry cannot delay unrelated results.
+
         Each request's ``validate`` level travels with it, so pooled workers
-        enforce the same invariants as serial runs; a
-        :class:`~repro.exceptions.ValidationError` is never retried away —
-        it propagates after the retry budget like any other failure.
+        enforce the same invariants as serial runs. Both paths fail fast on
+        :class:`~repro.exceptions.ValidationError`: a deterministic
+        invariant violation cannot be retried away, so it propagates
+        immediately without consuming the retry budget.
         """
         if jobs <= 1:
-            return [
+            results = [
                 self._run_with_retries(req, retries, retry_delay)
                 for req in requests
             ]
+            if not keep_mapping:
+                for result in results:
+                    result.mapping = None
+            return results
 
         from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
         results: list[MappingResult | None] = [None] * len(requests)
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             pending = {
-                pool.submit(_run_request, req): (i, 0)
+                pool.submit(_run_request, req, keep_mapping): (i, 0)
                 for i, req in enumerate(requests)
             }
-            while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            # Failed requests waiting out their retry delay: (ready_at,
+            # index, next_attempt). They are resubmitted when their deadline
+            # passes instead of sleeping inline, so collection never stalls.
+            delayed: list[tuple[float, int, int]] = []
+            while pending or delayed:
+                now = time.monotonic()
+                due = [entry for entry in delayed if entry[0] <= now]
+                if due:
+                    delayed = [entry for entry in delayed if entry[0] > now]
+                    for _, index, attempt in due:
+                        future = pool.submit(
+                            _run_request, requests[index], keep_mapping
+                        )
+                        pending[future] = (index, attempt)
+                if not pending:
+                    time.sleep(max(0.0, min(e[0] for e in delayed) - now))
+                    continue
+                timeout = (
+                    max(0.0, min(e[0] for e in delayed) - now)
+                    if delayed
+                    else None
+                )
+                done, _ = wait(
+                    pending, timeout=timeout, return_when=FIRST_COMPLETED
+                )
                 for future in done:
                     index, attempt = pending.pop(future)
                     exc = future.exception()
                     if exc is None:
                         results[index] = future.result()
+                    elif isinstance(exc, ValidationError):
+                        raise exc
                     elif attempt < retries:
-                        if retry_delay:
-                            time.sleep(retry_delay)
-                        pending[pool.submit(_run_request, requests[index])] = (
-                            index, attempt + 1,
-                        )
+                        delayed.append((
+                            time.monotonic() + retry_delay, index, attempt + 1,
+                        ))
                     else:
                         raise exc
         return results  # type: ignore[return-value]
@@ -467,6 +507,8 @@ class MappingEngine:
         while True:
             try:
                 return self.run(request)
+            except ValidationError:
+                raise
             except Exception:
                 if attempt >= retries:
                     raise
@@ -475,9 +517,13 @@ class MappingEngine:
                     time.sleep(retry_delay)
 
 
-def _run_request(request: MappingRequest) -> MappingResult:
-    """Pool worker: run one request, drop the heavyweight Mapping object
-    (the assignment/metrics/metadata travel back; graph and topology do not)."""
+def _run_request(
+    request: MappingRequest, keep_mapping: bool = False
+) -> MappingResult:
+    """Pool worker: run one request; unless ``keep_mapping``, drop the
+    heavyweight Mapping object (the assignment/metrics/metadata travel back;
+    graph and topology do not)."""
     result = MappingEngine().run(request)
-    result.mapping = None
+    if not keep_mapping:
+        result.mapping = None
     return result

@@ -81,6 +81,7 @@ class ValidationError(ReproError):
         details: dict | None = None,
     ):
         self.invariant = str(invariant)
+        self.message = str(message)
         self.spec = dict(spec or {})
         self.replay = replay
         self.details = dict(details or {})
@@ -94,3 +95,21 @@ class ValidationError(ReproError):
         if replay:
             text += f"\nreplay: {replay}"
         super().__init__(text)
+
+    def __reduce__(self):
+        # The default Exception reduction calls ``type(self)(*self.args)``,
+        # which cannot rebuild the two-positional-argument signature — and a
+        # ValidationError must survive the pickle round-trip through a
+        # process pool so batch paths can fail fast on it.
+        return (
+            _rebuild_validation_error,
+            (self.invariant, self.message, self.spec, self.replay,
+             self.details),
+        )
+
+
+def _rebuild_validation_error(invariant, message, spec, replay, details):
+    """Unpickle helper for :class:`ValidationError`."""
+    return ValidationError(
+        invariant, message, spec=spec, replay=replay, details=details
+    )

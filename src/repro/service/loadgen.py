@@ -1,0 +1,229 @@
+"""Load generator for the mapping service — the serving-path benchmark.
+
+Drives a stream of ``POST /map`` requests in which a configurable fraction
+are duplicates (the ROADMAP's "millions of users, mostly duplicate
+requests" regime), measures per-request latency client-side, classifies
+each response as a cache hit or a cold compute, and writes the result as a
+``repro-profile-v1`` artifact (``benchmarks/BENCH_service_loadgen.json``):
+requests/sec, hit ratio, p50/p99 overall and per class, and the hit-vs-cold
+speedup.
+
+Self-hosting by default (it spins a :class:`ThreadedServer` in-process), or
+point it at a running daemon with ``--url``::
+
+    python -m repro.service.loadgen --requests 200 --duplicate 0.9 \\
+        --output BENCH_service_loadgen.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+
+from repro.obs.core import Profiler
+
+__all__ = ["run_loadgen", "main"]
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def _post_map(url: str, body: dict, retry_after_cap: float = 30.0) -> dict:
+    """POST one request; on 429, honor Retry-After and try again."""
+    data = json.dumps(body).encode()
+    deadline = time.monotonic() + retry_after_cap
+    while True:
+        req = urllib.request.Request(
+            f"{url}/map", data=data,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            if exc.code == 429 and time.monotonic() < deadline:
+                time.sleep(float(exc.headers.get("Retry-After", 1)))
+                continue
+            detail = exc.read().decode(errors="replace")
+            raise RuntimeError(f"HTTP {exc.code} from {url}/map: {detail}")
+
+
+def build_workload(
+    requests: int,
+    duplicate: float,
+    seed: int = 0,
+    graph: str = "mesh2d:16x16;bytes=1024",
+    topology: str = "torus:16x16",
+    mapper: str = "refine:base=topolb",
+) -> list[dict]:
+    """A request stream with a ``duplicate`` fraction of repeats.
+
+    Unique requests differ by seed (so each is a genuine cold compute);
+    duplicates re-issue a uniformly random earlier unique. Uniques lead the
+    stream, which makes the expected hit ratio exactly ``duplicate`` when
+    driven sequentially.
+    """
+    if not 0.0 <= duplicate < 1.0:
+        raise ValueError(f"duplicate fraction must be in [0, 1), got {duplicate}")
+    uniques = max(1, round(requests * (1.0 - duplicate)))
+    rng = np.random.default_rng(seed)
+    bodies = []
+    for i in range(requests):
+        idx = i if i < uniques else int(rng.integers(0, uniques))
+        bodies.append({
+            "graph": graph,
+            "topology": topology,
+            "mapper": mapper,
+            "seed": idx,
+        })
+    return bodies
+
+
+def run_loadgen(
+    requests: int = 200,
+    duplicate: float = 0.9,
+    seed: int = 0,
+    url: str | None = None,
+    jobs: int = 0,
+    graph: str = "mesh2d:16x16;bytes=1024",
+    topology: str = "torus:16x16",
+    mapper: str = "refine:base=topolb",
+) -> dict:
+    """Drive the workload and return the benchmark profile document."""
+    from repro import obs
+
+    bodies = build_workload(requests, duplicate, seed,
+                            graph=graph, topology=topology, mapper=mapper)
+    own_server = None
+    if url is None:
+        from repro.service.daemon import ServiceConfig
+        from repro.service.http import ThreadedServer
+
+        own_server = ThreadedServer(ServiceConfig(
+            jobs=jobs, queue_limit=max(64, requests), batch_size=8,
+        ))
+        url = own_server.start()
+
+    hit_lat: list[float] = []
+    miss_lat: list[float] = []
+    errors = 0
+    started = time.perf_counter()
+    try:
+        for body in bodies:
+            t0 = time.perf_counter()
+            reply = _post_map(url, body)
+            elapsed = time.perf_counter() - t0
+            if reply.get("status") != "done":
+                errors += 1
+            elif reply.get("cached"):
+                hit_lat.append(elapsed)
+            else:
+                miss_lat.append(elapsed)
+        total = time.perf_counter() - started
+        health = json.loads(urllib.request.urlopen(f"{url}/healthz").read())
+    finally:
+        if own_server is not None:
+            own_server.stop()
+
+    served = len(hit_lat) + len(miss_lat)
+    hit_ratio = len(hit_lat) / served if served else 0.0
+    hit_p50 = _percentile(hit_lat, 0.5)
+    miss_p50 = _percentile(miss_lat, 0.5)
+    speedup = (miss_p50 / hit_p50) if hit_p50 > 0 else 0.0
+
+    prof = Profiler()
+    prof.count("loadgen.requests", requests)
+    prof.count("loadgen.served", served)
+    prof.count("loadgen.errors", errors)
+    prof.count("loadgen.hits", len(hit_lat))
+    prof.count("loadgen.misses", len(miss_lat))
+    prof.count("loadgen.hit_ratio", round(hit_ratio, 6))
+    prof.count("loadgen.requests_per_s", round(requests / total, 3))
+    prof.count("loadgen.p50_us",
+               round(_percentile(hit_lat + miss_lat, 0.5) * 1e6, 3))
+    prof.count("loadgen.p99_us",
+               round(_percentile(hit_lat + miss_lat, 0.99) * 1e6, 3))
+    prof.count("loadgen.hit_p50_us", round(hit_p50 * 1e6, 3))
+    prof.count("loadgen.hit_p99_us",
+               round(_percentile(hit_lat, 0.99) * 1e6, 3))
+    prof.count("loadgen.miss_p50_us", round(miss_p50 * 1e6, 3))
+    prof.count("loadgen.miss_p99_us",
+               round(_percentile(miss_lat, 0.99) * 1e6, 3))
+    prof.count("loadgen.hit_speedup", round(speedup, 3))
+    prof.add_time("loadgen.total", total)
+    return obs.build_profile(
+        prof,
+        command=(
+            f"python -m repro.service.loadgen --requests {requests} "
+            f"--duplicate {duplicate} --seed {seed} --jobs {jobs}"
+        ),
+        context={
+            "graph": graph,
+            "topology": topology,
+            "mapper": mapper,
+            "duplicate_fraction": duplicate,
+            "server": "self-hosted" if own_server is not None else url,
+            "server_requests": health["requests"],
+            "server_cache_entries": health["cache"]["entries"],
+        },
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Drive duplicate-heavy load at a mapping daemon and "
+                    "record a repro-profile-v1 benchmark artifact."
+    )
+    parser.add_argument("--requests", type=int, default=200,
+                        help="total requests to send (default 200)")
+    parser.add_argument("--duplicate", type=float, default=0.9,
+                        help="fraction of duplicate requests (default 0.9)")
+    parser.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    parser.add_argument("--url", default=None,
+                        help="daemon base URL; omitted = self-host in-process")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="self-hosted pool workers (0 = thread executor)")
+    parser.add_argument("--graph", default="mesh2d:16x16;bytes=1024")
+    parser.add_argument("--topology", default="torus:16x16")
+    parser.add_argument("--mapper", default="refine:base=topolb")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="write the profile artifact here")
+    args = parser.parse_args(argv)
+
+    profile = run_loadgen(
+        requests=args.requests, duplicate=args.duplicate, seed=args.seed,
+        url=args.url, jobs=args.jobs, graph=args.graph,
+        topology=args.topology, mapper=args.mapper,
+    )
+    counters = profile["counters"]
+    print(
+        f"{counters['loadgen.requests']:.0f} requests in "
+        f"{profile['timers']['loadgen.total']['total_s']:.2f}s "
+        f"({counters['loadgen.requests_per_s']:.1f} req/s), "
+        f"hit ratio {counters['loadgen.hit_ratio']:.3f}, "
+        f"p50 {counters['loadgen.p50_us']:.0f}us "
+        f"p99 {counters['loadgen.p99_us']:.0f}us, "
+        f"hit p50 {counters['loadgen.hit_p50_us']:.0f}us vs "
+        f"cold p50 {counters['loadgen.miss_p50_us']:.0f}us "
+        f"({counters['loadgen.hit_speedup']:.1f}x)"
+    )
+    if args.output:
+        from repro.obs import save_profile
+
+        save_profile(profile, args.output)
+        print(f"wrote {args.output}")
+    return 1 if counters["loadgen.errors"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -182,6 +182,44 @@ class TaskGraph:
         for arr in (self._indptr, self._indices, self._weights):
             arr.flags.writeable = False
 
+    # ---------------------------------------------------------------- digest
+    def content_digest(self) -> str:
+        """Stable sha256 hex digest of the graph's full content.
+
+        Covers the task count, the canonical deduplicated edge arrays
+        (sorted ``(min, max)`` keys with summed float64 weights — exactly
+        what the CSR adjacency derives from), the vertex weights, and the
+        coordinates when attached. Two graphs with equal structure hash
+        equally regardless of how they were built (``__init__`` vs
+        :meth:`from_arrays`, edge input order, duplicate merging), and the
+        digest is identical across processes and platforms because every
+        hashed array has a fixed dtype (int64/float64) and little-endian
+        byte order. This is the graph half of the content-addressed mapping
+        cache key (see :mod:`repro.service.cache`).
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update(b"repro-taskgraph-digest-v1\x00")
+
+        def _arr(tag: bytes, arr: np.ndarray) -> None:
+            data = np.ascontiguousarray(arr)
+            if data.dtype.byteorder == ">":  # big-endian hosts hash equally
+                data = data.astype(data.dtype.newbyteorder("<"))
+            h.update(tag)
+            h.update(data.size.to_bytes(8, "little"))
+            h.update(data.tobytes())
+
+        h.update(self._n.to_bytes(8, "little"))
+        _arr(b"eu", self._edge_u)
+        _arr(b"ev", self._edge_v)
+        _arr(b"ew", self._edge_w)
+        _arr(b"vw", self._vertex_weights)
+        if self._coords is not None:
+            h.update(self._coords.shape[1].to_bytes(8, "little"))
+            _arr(b"xy", self._coords)
+        return h.hexdigest()
+
     # ----------------------------------------------------------------- sizes
     @property
     def num_tasks(self) -> int:

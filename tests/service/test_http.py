@@ -1,0 +1,145 @@
+"""HTTP transport: routes, status codes, and the ThreadedServer harness."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.service import ServiceConfig, ThreadedServer
+
+BODY = {"graph": "mesh2d:6x6;bytes=1024", "topology": "torus:6x6",
+        "mapper": "topolb", "seed": 0}
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ThreadedServer(ServiceConfig(jobs=0, batch_size=4,
+                                      timeout=10.0)) as url:
+        yield url
+
+
+def _call(url, method="GET", body=None):
+    """(status, headers, parsed JSON) without raising on 4xx."""
+    data = None if body is None else json.dumps(body).encode()
+    request = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=60) as reply:
+            return reply.status, dict(reply.headers), json.load(reply)
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), json.load(err)
+
+
+def test_map_miss_then_hit(server):
+    status, _, first = _call(f"{server}/map", "POST", dict(BODY))
+    assert status == 200
+    assert first["status"] == "done" and first["cached"] is False
+    assert first["result"]["metrics"]["hop_bytes"] > 0
+
+    status, _, second = _call(f"{server}/map", "POST", dict(BODY))
+    assert status == 200
+    assert second["cached"] is True
+    assert second["id"] == first["id"]
+    assert second["result"] == first["result"]
+
+
+def test_map_wait_false_then_poll(server):
+    body = {**BODY, "seed": 41, "wait": False}
+    status, _, reply = _call(f"{server}/map", "POST", body)
+    assert status == 202
+    assert reply["status"] == "pending"
+    for _ in range(200):
+        status, _, polled = _call(f"{server}/result/{reply['id']}")
+        if status == 200:
+            assert polled["status"] == "done"
+            assert polled["result"]["metrics"]["hop_bytes"] > 0
+            return
+        assert status == 202
+    raise AssertionError("poll never reached done")
+
+
+def test_result_unknown_is_404(server):
+    status, _, reply = _call(f"{server}/result/{'0' * 64}")
+    assert status == 404
+    assert "unknown" in reply["error"]
+
+
+@pytest.mark.parametrize("raw", [b"{not json", b""])
+def test_map_malformed_json_is_400(server, raw):
+    request = urllib.request.Request(
+        f"{server}/map", data=raw, method="POST"
+    )
+    with pytest.raises(urllib.error.HTTPError) as err:
+        urllib.request.urlopen(request, timeout=30)
+    assert err.value.code == 400
+
+
+def test_map_unknown_field_is_400(server):
+    status, _, reply = _call(f"{server}/map", "POST",
+                             {**BODY, "mystery": 1})
+    assert status == 400
+    assert "unknown request field" in reply["error"]
+
+
+def test_map_unknown_mapper_is_400(server):
+    status, _, reply = _call(f"{server}/map", "POST",
+                             {**BODY, "mapper": "NoSuchMapperLB"})
+    assert status == 400
+
+
+def test_map_deterministic_failure_is_422(server):
+    body = {**BODY, "kernel": "no-such-kernel"}
+    status, _, reply = _call(f"{server}/map", "POST", body)
+    assert status == 422
+    assert reply["status"] == "error"
+    assert "no-such-kernel" in reply["error"]
+    # The error record also answers polls.
+    status, _, polled = _call(f"{server}/result/{reply['id']}")
+    assert status == 422
+
+
+def test_method_mismatches_are_405(server):
+    assert _call(f"{server}/map")[0] == 405
+    assert _call(f"{server}/healthz", "POST", {})[0] == 405
+    assert _call(f"{server}/metrics", "POST", {})[0] == 405
+
+
+def test_unknown_route_is_404(server):
+    assert _call(f"{server}/nope")[0] == 404
+
+
+def test_healthz_reports_cache_and_queue(server):
+    status, _, health = _call(f"{server}/healthz")
+    assert status == 200
+    assert health["status"] == "ok"
+    assert set(health["cache"]) == {"hits", "misses", "disk_hits",
+                                    "evictions", "entries"}
+    assert health["jobs"] == 0
+
+
+def test_metrics_is_valid_profile(server):
+    status, _, profile = _call(f"{server}/metrics")
+    assert status == 200
+    obs.validate_profile(profile)
+    assert profile["counters"]["service.requests"] >= 2
+
+
+def test_shutdown_route_stops_the_server():
+    with ThreadedServer(ServiceConfig(jobs=0)) as url:
+        server_obj_status, _, reply = _call(f"{url}/shutdown", "POST", {})
+        assert server_obj_status == 200
+        assert reply["status"] == "shutting-down"
+        # The serving loop exits on its own; subsequent connects fail once
+        # the socket closes.
+        for _ in range(100):
+            try:
+                _call(f"{url}/healthz")
+            except (urllib.error.URLError, ConnectionError, OSError):
+                break
+            import time
+            time.sleep(0.05)
+        else:
+            raise AssertionError("server kept accepting after /shutdown")
